@@ -1,0 +1,112 @@
+//! The paper's Appendix A tail bounds as executable formulas.
+//!
+//! These let tests and experiments compare *measured* hitting times of the
+//! substrate primitives against the *analytic* high-probability bounds:
+//!
+//! * Lemma 12 (negative binomial): for `X ~ NegBin(r, p)`,
+//!   `Pr[X > (2/p)(r + γ log n)] ≤ n^{-γ}`.
+//! * Lemma 13 (coupon collector): for `X ~ CouponCollector(k)`,
+//!   `Pr[X > k(log k + γ log n)] ≤ n^{-γ}`.
+//! * Lemma 14 (one-way epidemic): for `X ~ OWE(n, m)`,
+//!   `Pr[X > (3n²/m)(log m + 2γ log n)] ≤ 2n^{-γ}`.
+//!
+//! All logarithms are natural, as in the paper's appendix.
+
+/// Lemma 12.1: high-probability upper bound on a `NegBin(r, p)` variable.
+///
+/// # Panics
+///
+/// Panics unless `0 < p ≤ 1`, `r ≥ 1`, `n ≥ 2`.
+pub fn negbin_upper(r: f64, p: f64, n: f64, gamma: f64) -> f64 {
+    assert!(p > 0.0 && p <= 1.0, "p must be a probability");
+    assert!(r >= 1.0, "r must be at least 1");
+    assert!(n >= 2.0, "population must have at least two agents");
+    (2.0 / p) * (r + gamma * n.ln())
+}
+
+/// Lemma 12.2: lower bound — `Pr[X ≤ r/(2p)] ≤ exp(−r/6)`.
+pub fn negbin_lower(r: f64, p: f64) -> f64 {
+    assert!(p > 0.0 && p <= 1.0, "p must be a probability");
+    0.5 * r / p
+}
+
+/// Lemma 13: coupon-collector upper bound `k(log k + γ log n)`.
+pub fn coupon_collector_upper(k: f64, n: f64, gamma: f64) -> f64 {
+    assert!(k >= 1.0 && n >= k, "need 1 ≤ k ≤ n");
+    k * (k.ln() + gamma * n.ln())
+}
+
+/// Lemma 14: one-way epidemic upper bound
+/// `(3n²/m)(log m + 2γ log n)` for an epidemic among `m` of `n` agents.
+///
+/// # Panics
+///
+/// Panics unless `2 ≤ m ≤ n`.
+pub fn owe_upper(n: f64, m: f64, gamma: f64) -> f64 {
+    assert!(m >= 2.0 && m <= n, "need 2 ≤ m ≤ n");
+    3.0 * n * n / m * (m.ln() + 2.0 * gamma * n.ln())
+}
+
+/// The waiting-phase bound used in Lemma 6:
+/// `T_wait ≤ (c_wait + γ) · 2^k · n log n` interactions for phase `k`.
+pub fn wait_phase_upper(n: f64, k: u32, c_wait: f64, gamma: f64) -> f64 {
+    (c_wait + gamma) * 2f64.powi(k as i32) * n * n.ln()
+}
+
+/// The ranking-phase bound used in Lemma 7:
+/// `T_rank ≤ 2n² + 2γ·2^k·n log n` interactions for phase `k`.
+pub fn rank_phase_upper(n: f64, k: u32, gamma: f64) -> f64 {
+    2.0 * n * n + 2.0 * gamma * 2f64.powi(k as i32) * n * n.ln()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn negbin_bound_formula() {
+        // r = 10, p = 1/2, n = e², γ = 1: (2/0.5)(10 + 2) = 48.
+        let b = negbin_upper(10.0, 0.5, std::f64::consts::E.powi(2), 1.0);
+        assert!((b - 48.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn negbin_lower_formula() {
+        assert!((negbin_lower(10.0, 0.5) - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn owe_bound_dominates_complete_epidemic_mean() {
+        // The mean of a full one-way epidemic is ≈ 2n ln n interactions
+        // (n² / m summed over m); the bound at m = n must exceed it.
+        let n = 1000.0f64;
+        let mean_approx = 2.0 * n * n.ln();
+        assert!(owe_upper(n, n, 1.0) > mean_approx);
+    }
+
+    #[test]
+    fn owe_bound_grows_as_m_shrinks() {
+        let n = 512.0;
+        assert!(owe_upper(n, 4.0, 1.0) > owe_upper(n, 256.0, 1.0));
+    }
+
+    #[test]
+    fn coupon_collector_formula() {
+        let k = 100.0;
+        let b = coupon_collector_upper(k, k, 1.0);
+        assert!((b - 100.0 * (100f64.ln() * 2.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn phase_bounds_increase_with_k() {
+        let n = 256.0;
+        assert!(wait_phase_upper(n, 3, 2.0, 1.0) > wait_phase_upper(n, 1, 2.0, 1.0));
+        assert!(rank_phase_upper(n, 8, 1.0) > rank_phase_upper(n, 1, 1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "2 ≤ m ≤ n")]
+    fn owe_rejects_tiny_m() {
+        let _ = owe_upper(10.0, 1.0, 1.0);
+    }
+}

@@ -1,0 +1,151 @@
+//! Least-squares fits for scaling-law checks.
+//!
+//! The experiments verify statements like "stabilization time is
+//! `Θ(n² log n)`" by regressing measured times against candidate models.
+//! [`linear_fit`] is ordinary least squares on `(x, y)` pairs;
+//! [`power_fit`] fits `y = a·x^b` in log–log space, so `b` estimates the
+//! polynomial exponent (≈ 2 for `n²`-type growth, ≈ 3 for the Cai et al.
+//! baseline).
+
+/// Result of a linear regression `y ≈ slope · x + intercept`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinearFit {
+    /// Slope.
+    pub slope: f64,
+    /// Intercept.
+    pub intercept: f64,
+    /// Coefficient of determination `R²` (1 = perfect fit).
+    pub r_squared: f64,
+}
+
+/// Ordinary least squares over `(x, y)` pairs.
+///
+/// # Panics
+///
+/// Panics with fewer than two points or when all `x` are equal.
+pub fn linear_fit(points: &[(f64, f64)]) -> LinearFit {
+    assert!(points.len() >= 2, "need at least two points to fit a line");
+    let n = points.len() as f64;
+    let sx: f64 = points.iter().map(|p| p.0).sum();
+    let sy: f64 = points.iter().map(|p| p.1).sum();
+    let sxx: f64 = points.iter().map(|p| p.0 * p.0).sum();
+    let sxy: f64 = points.iter().map(|p| p.0 * p.1).sum();
+    let denom = n * sxx - sx * sx;
+    assert!(
+        denom.abs() > f64::EPSILON * n * sxx.max(1.0),
+        "x values are all equal; slope undefined"
+    );
+    let slope = (n * sxy - sx * sy) / denom;
+    let intercept = (sy - slope * sx) / n;
+    let mean_y = sy / n;
+    let ss_tot: f64 = points.iter().map(|p| (p.1 - mean_y).powi(2)).sum();
+    let ss_res: f64 = points
+        .iter()
+        .map(|p| (p.1 - (slope * p.0 + intercept)).powi(2))
+        .sum();
+    let r_squared = if ss_tot == 0.0 {
+        1.0
+    } else {
+        1.0 - ss_res / ss_tot
+    };
+    LinearFit {
+        slope,
+        intercept,
+        r_squared,
+    }
+}
+
+/// Result of a power-law fit `y ≈ a · x^b`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PowerFit {
+    /// Prefactor `a`.
+    pub a: f64,
+    /// Exponent `b`.
+    pub b: f64,
+    /// `R²` of the underlying log–log linear fit.
+    pub r_squared: f64,
+}
+
+/// Fit `y = a·x^b` by linear regression in log–log space.
+///
+/// # Panics
+///
+/// Panics if any coordinate is not strictly positive.
+pub fn power_fit(points: &[(f64, f64)]) -> PowerFit {
+    assert!(
+        points.iter().all(|p| p.0 > 0.0 && p.1 > 0.0),
+        "power fit requires strictly positive coordinates"
+    );
+    let logs: Vec<(f64, f64)> = points.iter().map(|p| (p.0.ln(), p.1.ln())).collect();
+    let lf = linear_fit(&logs);
+    PowerFit {
+        a: lf.intercept.exp(),
+        b: lf.slope,
+        r_squared: lf.r_squared,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_line_is_recovered() {
+        let pts: Vec<(f64, f64)> = (1..=10).map(|i| (i as f64, 3.0 * i as f64 + 2.0)).collect();
+        let f = linear_fit(&pts);
+        assert!((f.slope - 3.0).abs() < 1e-10);
+        assert!((f.intercept - 2.0).abs() < 1e-10);
+        assert!((f.r_squared - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn noisy_line_has_reasonable_r2() {
+        let pts: Vec<(f64, f64)> = (1..=20)
+            .map(|i| {
+                let x = i as f64;
+                (x, 2.0 * x + if i % 2 == 0 { 0.5 } else { -0.5 })
+            })
+            .collect();
+        let f = linear_fit(&pts);
+        assert!((f.slope - 2.0).abs() < 0.05);
+        assert!(f.r_squared > 0.99);
+    }
+
+    #[test]
+    fn cubic_power_law_recovered() {
+        let pts: Vec<(f64, f64)> = [8.0, 16.0, 32.0, 64.0, 128.0]
+            .iter()
+            .map(|&x| (x, 0.5 * x * x * x))
+            .collect();
+        let f = power_fit(&pts);
+        assert!((f.b - 3.0).abs() < 1e-9);
+        assert!((f.a - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn quadratic_log_shape_has_exponent_near_two() {
+        // y = n² log₂ n should fit with exponent slightly above 2.
+        let pts: Vec<(f64, f64)> = [64.0, 128.0, 256.0, 512.0, 1024.0]
+            .iter()
+            .map(|&x: &f64| (x, x * x * x.log2()))
+            .collect();
+        let f = power_fit(&pts);
+        assert!(
+            f.b > 2.0 && f.b < 2.5,
+            "exponent {} outside (2, 2.5) for n² log n data",
+            f.b
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two points")]
+    fn single_point_panics() {
+        let _ = linear_fit(&[(1.0, 1.0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly positive")]
+    fn power_fit_rejects_nonpositive() {
+        let _ = power_fit(&[(0.0, 1.0), (1.0, 2.0)]);
+    }
+}

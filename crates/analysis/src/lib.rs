@@ -1,0 +1,18 @@
+//! Statistics and tail-bound helpers for the experiments.
+//!
+//! Three jobs:
+//!
+//! 1. [`stats`] — summary statistics (mean, standard deviation, quantiles)
+//!    for experiment outputs;
+//! 2. [`fit`] — least-squares fitting used to check scaling laws such as
+//!    `T = Θ(n² log n)` (experiments E3/E11);
+//! 3. [`bounds`] — the paper's Appendix A tail bounds (Lemmas 12–14) as
+//!    executable formulas, so tests and experiments can compare measured
+//!    hitting times against the analytic guarantees.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bounds;
+pub mod fit;
+pub mod stats;

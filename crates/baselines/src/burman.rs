@@ -1,0 +1,545 @@
+//! A reconstruction of the Burman et al. (PODC'21) silent self-stabilizing
+//! ranking protocol with `n + Ω(n)` states.
+//!
+//! The structural difference from the paper's `StableRanking` is exactly
+//! one design decision: here the leader is *aware* — it stores the next
+//! rank to assign (`Leader{next}`, `Ω(n)` overhead states) instead of
+//! deriving it from the phase geometry. Everything else mirrors the
+//! paper's machinery so the comparison isolates that decision:
+//! `FastLeaderElection` elects the leader, a TTL reset epidemic recovers
+//! from errors, and liveness is tracked with the same coin-gated
+//! `aliveCount` scheme (assign on heads, refresh on tails).
+//!
+//! Error detectors: duplicate ranks on meeting, two leaders on meeting, a
+//! leader meeting a rank-1 agent (the leader claims rank 1 itself), and
+//! `aliveCount` expiry.
+
+use leader_election::fast::{FastLe, FastLeEffect, FastLeState};
+use population::{Protocol, RankOutput};
+
+/// Unranked sub-roles of the Burman-style protocol.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum BuRole {
+    /// Reset propagation (propagating while `reset > 0`, else dormant).
+    Reset {
+        /// TTL of the reset epidemic.
+        reset: u32,
+        /// Dormancy countdown.
+        delay: u32,
+    },
+    /// Running `FastLeaderElection`.
+    Elect(FastLeState),
+    /// Waiting to be assigned a rank by the leader.
+    Seek {
+        /// Liveness counter.
+        alive: u32,
+    },
+}
+
+/// Agent state of the Burman-style protocol.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum BurmanState {
+    /// Holds a final rank.
+    Ranked(u64),
+    /// The aware leader: remembers the next rank to assign — the `Ω(n)`
+    /// overhead the paper eliminates.
+    Leader {
+        /// Next rank to hand out (`2 ..= n`).
+        next: u64,
+    },
+    /// Unranked agent: coin plus sub-role.
+    Un {
+        /// Synthetic coin (toggles on each activation as responder).
+        coin: bool,
+        /// Current sub-role.
+        role: BuRole,
+    },
+}
+
+impl RankOutput for BurmanState {
+    fn rank(&self) -> Option<u64> {
+        match self {
+            BurmanState::Ranked(r) => Some(*r),
+            // The aware leader owns rank 1 throughout.
+            BurmanState::Leader { .. } => Some(1),
+            BurmanState::Un { .. } => None,
+        }
+    }
+}
+
+impl BurmanState {
+    fn is_resetting(&self) -> bool {
+        matches!(
+            self,
+            BurmanState::Un {
+                role: BuRole::Reset { .. },
+                ..
+            }
+        )
+    }
+
+    fn is_electing(&self) -> bool {
+        matches!(
+            self,
+            BurmanState::Un {
+                role: BuRole::Elect(_),
+                ..
+            }
+        )
+    }
+
+    fn coin(&self) -> Option<bool> {
+        match self {
+            BurmanState::Un { coin, .. } => Some(*coin),
+            _ => None,
+        }
+    }
+
+    fn alive_mut(&mut self) -> Option<&mut u32> {
+        match self {
+            BurmanState::Un {
+                role: BuRole::Seek { alive },
+                ..
+            } => Some(alive),
+            _ => None,
+        }
+    }
+}
+
+/// The Burman-style protocol with its parameters.
+#[derive(Debug, Clone)]
+pub struct BurmanRanking {
+    n: usize,
+    fast: FastLe,
+    l_max: u32,
+    r_max: u32,
+    d_max: u32,
+}
+
+impl BurmanRanking {
+    /// Build the protocol for `n` agents with the same `Θ(log n)` counter
+    /// sizes as the paper's protocol.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 2`.
+    pub fn new(n: usize) -> Self {
+        assert!(n >= 2, "population must have at least two agents");
+        let log2n = (n as f64).log2();
+        Self {
+            n,
+            fast: FastLe::for_n(n, 4.0),
+            l_max: ((4.0 * log2n).ceil() as u32).max(2),
+            r_max: ((2.0 * log2n).ceil() as u32).max(1),
+            d_max: ((4.0 * log2n).ceil() as u32).max(1),
+        }
+    }
+
+    /// Clean start: everyone electing.
+    pub fn initial(&self) -> Vec<BurmanState> {
+        (0..self.n)
+            .map(|i| BurmanState::Un {
+                coin: i % 2 == 0,
+                role: BuRole::Elect(self.fast.initial_state()),
+            })
+            .collect()
+    }
+
+    /// Adversarial configuration from a seed.
+    pub fn adversarial(&self, seed: u64) -> Vec<BurmanState> {
+        use rand::rngs::SmallRng;
+        use rand::{RngExt, SeedableRng};
+        let mut rng = SmallRng::seed_from_u64(seed);
+        (0..self.n)
+            .map(|_| {
+                let coin = rng.random_bool(0.5);
+                match rng.random_range(0..5u8) {
+                    0 => BurmanState::Ranked(rng.random_range(1..=self.n as u64)),
+                    1 => BurmanState::Leader {
+                        next: rng.random_range(2..=self.n as u64),
+                    },
+                    2 => BurmanState::Un {
+                        coin,
+                        role: BuRole::Reset {
+                            reset: rng.random_range(0..=self.r_max),
+                            delay: rng.random_range(1..=self.d_max),
+                        },
+                    },
+                    3 => BurmanState::Un {
+                        coin,
+                        role: BuRole::Elect(self.fast.initial_state()),
+                    },
+                    _ => BurmanState::Un {
+                        coin,
+                        role: BuRole::Seek {
+                            alive: rng.random_range(1..=self.l_max),
+                        },
+                    },
+                }
+            })
+            .collect()
+    }
+
+    /// Analytic state count: `n` ranks + `n−1` leader states + unranked
+    /// overhead — the `n + Ω(n)` shape of the comparison table.
+    pub fn state_count(&self) -> u64 {
+        let reset = (u64::from(self.r_max) + 1) * (u64::from(self.d_max) + 1);
+        let elect =
+            (u64::from(self.fast.l_max) + 1) * (u64::from(self.fast.coin_target) + 1) * 4;
+        let seek = u64::from(self.l_max) + 1;
+        self.n as u64 + (self.n as u64 - 1) + 2 * (reset + elect + seek)
+    }
+
+    fn trigger(&self, x: &mut BurmanState) {
+        let coin = x.coin().unwrap_or(false);
+        *x = BurmanState::Un {
+            coin,
+            role: BuRole::Reset {
+                reset: self.r_max,
+                delay: self.d_max,
+            },
+        };
+    }
+
+    fn reset_step(&self, u: &mut BurmanState, v: &mut BurmanState) {
+        #[derive(PartialEq, Clone, Copy)]
+        enum C {
+            Prop,
+            Dorm,
+            Comp,
+        }
+        let class = |s: &BurmanState| match s {
+            BurmanState::Un {
+                role: BuRole::Reset { reset, .. },
+                ..
+            } => {
+                if *reset > 0 {
+                    C::Prop
+                } else {
+                    C::Dorm
+                }
+            }
+            _ => C::Comp,
+        };
+        let rc = |s: &BurmanState| match s {
+            BurmanState::Un {
+                role: BuRole::Reset { reset, .. },
+                ..
+            } => *reset,
+            _ => unreachable!(),
+        };
+        let set_rc = |s: &mut BurmanState, val: u32| {
+            if let BurmanState::Un {
+                role: BuRole::Reset { reset, .. },
+                ..
+            } = s
+            {
+                *reset = val;
+            }
+        };
+        let tick = |s: &mut BurmanState| {
+            if let BurmanState::Un {
+                coin,
+                role: BuRole::Reset { reset: 0, delay },
+            } = s
+            {
+                let next = delay.saturating_sub(1);
+                if next == 0 {
+                    *s = BurmanState::Un {
+                        coin: *coin,
+                        role: BuRole::Elect(self.fast.initial_state()),
+                    };
+                } else {
+                    *delay = next;
+                }
+            }
+        };
+        let infect = |s: &mut BurmanState, ttl: u32| {
+            let coin = s.coin().unwrap_or(false);
+            *s = BurmanState::Un {
+                coin,
+                role: BuRole::Reset {
+                    reset: ttl,
+                    delay: self.d_max,
+                },
+            };
+        };
+        match (class(u), class(v)) {
+            (C::Prop, C::Comp) => {
+                let t = rc(u) - 1;
+                set_rc(u, t);
+                infect(v, t);
+            }
+            (C::Comp, C::Prop) => {
+                let t = rc(v) - 1;
+                set_rc(v, t);
+                infect(u, t);
+            }
+            (C::Prop, C::Prop) => {
+                let m = rc(u).max(rc(v)).saturating_sub(1);
+                set_rc(u, m);
+                set_rc(v, m);
+            }
+            (C::Prop, C::Dorm) => {
+                set_rc(u, rc(u) - 1);
+                tick(v);
+            }
+            (C::Dorm, C::Prop) => {
+                tick(u);
+                set_rc(v, rc(v) - 1);
+            }
+            (C::Dorm, C::Dorm) => {
+                tick(u);
+                tick(v);
+            }
+            (C::Dorm, C::Comp) => tick(u),
+            (C::Comp, C::Dorm) => tick(v),
+            (C::Comp, C::Comp) => unreachable!("reset step needs a resetting agent"),
+        }
+    }
+}
+
+impl Protocol for BurmanRanking {
+    type State = BurmanState;
+
+    fn n(&self) -> usize {
+        self.n
+    }
+
+    fn transition(&self, u: &mut BurmanState, v: &mut BurmanState) -> bool {
+        let before = (*u, *v);
+
+        if u.is_resetting() || v.is_resetting() {
+            self.reset_step(u, v);
+        } else if u.is_electing() && v.is_electing() {
+            let v_coin = v.coin().expect("electing agents carry a coin");
+            if let BurmanState::Un {
+                coin,
+                role: BuRole::Elect(le),
+            } = u
+            {
+                let coin_u = *coin;
+                match self.fast.step(le, v_coin) {
+                    FastLeEffect::None => {}
+                    FastLeEffect::BecomeWaitingLeader => {
+                        // The aware leader: takes rank 1 and the counter.
+                        let _ = coin_u;
+                        *u = BurmanState::Leader { next: 2 };
+                    }
+                    FastLeEffect::TimedOut => self.trigger(u),
+                }
+            }
+        } else if u.is_electing() || v.is_electing() {
+            for slot in [&mut *u, &mut *v] {
+                if slot.is_electing() {
+                    let coin = slot.coin().expect("electing agents carry a coin");
+                    *slot = BurmanState::Un {
+                        coin,
+                        role: BuRole::Seek { alive: self.l_max },
+                    };
+                }
+            }
+        } else {
+            self.main_step(u, v);
+        }
+
+        if let BurmanState::Un { coin, .. } = v {
+            *coin = !*coin;
+        }
+
+        (*u, *v) != before
+    }
+}
+
+impl BurmanRanking {
+    fn main_step(&self, u: &mut BurmanState, v: &mut BurmanState) {
+        // Error detection: duplicate ranks (the leader counts as rank 1).
+        let dup = matches!((u.rank(), v.rank()), (Some(a), Some(b)) if a == b);
+        if dup {
+            self.trigger(u);
+            return;
+        }
+
+        // Liveness propagation between two seekers: max − 1.
+        if u.alive_mut().is_some() && v.alive_mut().is_some() {
+            let au = *u.alive_mut().expect("checked");
+            let av = *v.alive_mut().expect("checked");
+            let m = au.max(av).saturating_sub(1);
+            *u.alive_mut().expect("checked") = m;
+            *v.alive_mut().expect("checked") = m;
+        }
+
+        // Meeting a top-ranked agent decrements the seeker's counter
+        // (covers the lone-seeker case).
+        let n = self.n as u64;
+        if matches!(u.rank(), Some(r) if r == n || r == n - 1) {
+            if let Some(alive) = v.alive_mut() {
+                *alive = alive.saturating_sub(1);
+            }
+        }
+        if v.alive_mut().map(|a| *a) == Some(0) {
+            self.trigger(u);
+            return;
+        }
+
+        // The aware leader assigns on heads, refreshes on tails.
+        if let (
+            BurmanState::Leader { next },
+            BurmanState::Un {
+                coin,
+                role: BuRole::Seek { alive },
+            },
+        ) = (&mut *u, &mut *v)
+        {
+            {
+                if *coin {
+                    let assigned = *next;
+                    *v = BurmanState::Ranked(assigned);
+                    if assigned < n {
+                        *next = assigned + 1;
+                    } else {
+                        *u = BurmanState::Ranked(1);
+                    }
+                } else {
+                    *alive = self.l_max;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use population::runner::run_seed_range;
+    use population::silence::is_silent;
+    use population::{is_valid_ranking, Simulator};
+
+    #[test]
+    fn leader_assigns_on_heads_and_refreshes_on_tails() {
+        let p = BurmanRanking::new(8);
+        let mut u = BurmanState::Leader { next: 2 };
+        let mut v = BurmanState::Un {
+            coin: true,
+            role: BuRole::Seek { alive: 3 },
+        };
+        p.transition(&mut u, &mut v);
+        assert_eq!(v, BurmanState::Ranked(2));
+        assert_eq!(u, BurmanState::Leader { next: 3 });
+
+        let mut w = BurmanState::Un {
+            coin: false,
+            role: BuRole::Seek { alive: 3 },
+        };
+        p.transition(&mut u, &mut w);
+        assert!(matches!(
+            w,
+            BurmanState::Un {
+                role: BuRole::Seek { alive },
+                ..
+            } if alive == p.l_max
+        ));
+    }
+
+    #[test]
+    fn leader_retires_as_rank_one() {
+        let p = BurmanRanking::new(4);
+        let mut u = BurmanState::Leader { next: 4 };
+        let mut v = BurmanState::Un {
+            coin: true,
+            role: BuRole::Seek { alive: 5 },
+        };
+        p.transition(&mut u, &mut v);
+        assert_eq!(v, BurmanState::Ranked(4));
+        assert_eq!(u, BurmanState::Ranked(1));
+    }
+
+    #[test]
+    fn two_leaders_meeting_reset() {
+        let p = BurmanRanking::new(8);
+        let mut u = BurmanState::Leader { next: 3 };
+        let mut v = BurmanState::Leader { next: 5 };
+        p.transition(&mut u, &mut v);
+        assert!(u.is_resetting(), "both claim rank 1 → duplicate → reset");
+    }
+
+    #[test]
+    fn leader_meeting_rank_one_resets() {
+        let p = BurmanRanking::new(8);
+        let mut u = BurmanState::Leader { next: 3 };
+        let mut v = BurmanState::Ranked(1);
+        p.transition(&mut u, &mut v);
+        assert!(u.is_resetting());
+    }
+
+    #[test]
+    fn duplicate_ranks_reset() {
+        let p = BurmanRanking::new(8);
+        let mut u = BurmanState::Ranked(4);
+        let mut v = BurmanState::Ranked(4);
+        p.transition(&mut u, &mut v);
+        assert!(u.is_resetting());
+    }
+
+    #[test]
+    fn legal_configuration_is_silent() {
+        let p = BurmanRanking::new(8);
+        let states: Vec<BurmanState> = (1..=8).map(BurmanState::Ranked).collect();
+        assert!(is_silent(&p, &states));
+    }
+
+    #[test]
+    fn leader_plus_complete_ranks_is_silent_and_valid() {
+        // The aware leader outputs rank 1; with ranks 2..=n around it the
+        // configuration is already legal and silent.
+        let p = BurmanRanking::new(6);
+        let mut states = vec![BurmanState::Leader { next: 4 }];
+        states.extend((2..=6).map(BurmanState::Ranked));
+        assert!(is_valid_ranking(&states));
+        assert!(is_silent(&p, &states));
+    }
+
+    #[test]
+    fn stabilizes_from_clean_start() {
+        let n = 24;
+        let failures: usize = run_seed_range(6, |seed| {
+            let p = BurmanRanking::new(n);
+            let init = p.initial();
+            let mut sim = Simulator::new(p, init, seed);
+            let budget = (6000.0 * (n * n) as f64 * (n as f64).log2()) as u64;
+            let stop = sim.run_until(is_valid_ranking, budget, n as u64);
+            usize::from(stop.converged_at().is_none())
+        })
+        .into_iter()
+        .sum();
+        assert_eq!(failures, 0);
+    }
+
+    #[test]
+    fn stabilizes_from_adversarial_configurations() {
+        let n = 20;
+        let failures: usize = run_seed_range(8, |seed| {
+            let p = BurmanRanking::new(n);
+            let init = p.adversarial(seed * 13 + 5);
+            let mut sim = Simulator::new(p, init, seed);
+            let budget = (8000.0 * (n * n) as f64 * (n as f64).log2()) as u64;
+            let stop = sim.run_until(is_valid_ranking, budget, n as u64);
+            let ok = stop.converged_at().is_some()
+                && is_silent(sim.protocol(), sim.states());
+            usize::from(!ok)
+        })
+        .into_iter()
+        .sum();
+        assert_eq!(failures, 0);
+    }
+
+    #[test]
+    fn state_count_is_n_plus_omega_n() {
+        let p = BurmanRanking::new(1024);
+        let count = p.state_count();
+        // n ranks + (n−1) leader states dominate: ≥ 2n − 1.
+        assert!(count >= 2 * 1024 - 1);
+        // And the overhead beyond the ranks is Ω(n).
+        assert!(count - 1024 >= 1023);
+    }
+}

@@ -1,0 +1,22 @@
+//! Baseline protocols from the paper's related-work section, used by the
+//! comparison experiments (E5) and as ablations.
+//!
+//! * [`cai::CaiRanking`] — the silent self-stabilizing leader-election /
+//!   ranking protocol of Cai, Izumi and Wada with exactly `n` states and
+//!   `O(n³)` expected interactions.
+//! * [`burman::BurmanRanking`] — a reconstruction of the Burman et al.
+//!   (PODC'21) silent self-stabilizing ranking with `n + Ω(n)` overhead
+//!   states: the leader *remembers the next rank to assign*, which is
+//!   exactly the `Ω(n)` state cost the paper's unaware-leader design
+//!   eliminates. Error detection and resets mirror the paper's machinery.
+//! * [`naive::NaiveLeaderRanking`] — the non-self-stabilizing folklore
+//!   baseline: a designated leader hands out ranks `2 ..= n` sequentially
+//!   (`n + Ω(n)` states, `Θ(n² log n)` interactions), the ablation showing
+//!   that the paper's phase construction buys *space*, not time.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod burman;
+pub mod cai;
+pub mod naive;

@@ -1,0 +1,161 @@
+//! The folklore non-self-stabilizing baseline: a *designated* leader
+//! assigns ranks `2 ..= n` one meeting at a time and finally takes rank 1.
+//!
+//! This is what the paper's introduction calls the straightforward
+//! solution once a leader exists — and why it is not space efficient: the
+//! leader must remember the next rank to assign, costing `Ω(n)` overhead
+//! states (`Leader{next}` for each `next`). Protocol 1 removes exactly
+//! this counter via the unaware-leader phase construction at the same
+//! `Θ(n² log n)` running time, which experiment E5 demonstrates.
+
+use population::{Protocol, RankOutput};
+
+/// Agent state of the naive baseline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum NaiveState {
+    /// The designated leader, remembering the next rank to assign.
+    Leader {
+        /// Next rank to hand out (`2 ..= n`).
+        next: u64,
+    },
+    /// Not yet ranked.
+    Unranked,
+    /// Holds a final rank.
+    Ranked(u64),
+}
+
+impl RankOutput for NaiveState {
+    fn rank(&self) -> Option<u64> {
+        match self {
+            // The leader owns rank 1 throughout (it is "aware").
+            NaiveState::Leader { .. } => Some(1),
+            NaiveState::Ranked(r) => Some(*r),
+            NaiveState::Unranked => None,
+        }
+    }
+}
+
+/// The naive designated-leader ranking protocol.
+#[derive(Debug, Clone)]
+pub struct NaiveLeaderRanking {
+    n: usize,
+}
+
+impl NaiveLeaderRanking {
+    /// Protocol over `n` agents.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 2`.
+    pub fn new(n: usize) -> Self {
+        assert!(n >= 2, "population must have at least two agents");
+        Self { n }
+    }
+
+    /// Initial configuration: agent 0 is the designated leader, everyone
+    /// else unranked.
+    pub fn initial(&self) -> Vec<NaiveState> {
+        let mut states = vec![NaiveState::Unranked; self.n];
+        states[0] = NaiveState::Leader { next: 2 };
+        states
+    }
+}
+
+impl Protocol for NaiveLeaderRanking {
+    type State = NaiveState;
+
+    fn n(&self) -> usize {
+        self.n
+    }
+
+    fn transition(&self, u: &mut NaiveState, v: &mut NaiveState) -> bool {
+        match (&mut *u, &mut *v) {
+            (NaiveState::Leader { next }, NaiveState::Unranked) => {
+                *v = NaiveState::Ranked(*next);
+                if *next < self.n as u64 {
+                    *next += 1;
+                } else {
+                    *u = NaiveState::Ranked(1);
+                }
+                true
+            }
+            _ => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use population::runner::run_seed_range;
+    use population::silence::is_silent;
+    use population::{is_valid_ranking, Simulator};
+
+    #[test]
+    fn leader_assigns_sequentially() {
+        let p = NaiveLeaderRanking::new(3);
+        let mut u = NaiveState::Leader { next: 2 };
+        let mut v = NaiveState::Unranked;
+        assert!(p.transition(&mut u, &mut v));
+        assert_eq!(v, NaiveState::Ranked(2));
+        assert_eq!(u, NaiveState::Leader { next: 3 });
+        let mut w = NaiveState::Unranked;
+        p.transition(&mut u, &mut w);
+        assert_eq!(w, NaiveState::Ranked(3));
+        assert_eq!(u, NaiveState::Ranked(1), "leader retires after the last rank");
+    }
+
+    #[test]
+    fn only_leader_unranked_pairs_interact() {
+        let p = NaiveLeaderRanking::new(4);
+        let mut a = NaiveState::Ranked(2);
+        let mut b = NaiveState::Unranked;
+        assert!(!p.transition(&mut a, &mut b));
+        let mut c = NaiveState::Unranked;
+        let mut d = NaiveState::Leader { next: 2 };
+        // Unranked initiator, leader responder: assignment is
+        // initiator-driven, so nothing happens.
+        assert!(!p.transition(&mut c, &mut d));
+    }
+
+    #[test]
+    fn ranks_everyone_and_is_silent() {
+        for n in [4usize, 16, 64] {
+            let failures: usize = run_seed_range(5, |seed| {
+                let p = NaiveLeaderRanking::new(n);
+                let init = p.initial();
+                let mut sim = Simulator::new(p, init, seed);
+                let budget = 100 * (n as u64).pow(2) * (n as f64).log2().ceil() as u64;
+                let stop = sim.run_until(is_valid_ranking, budget, n as u64);
+                let ok = stop.converged_at().is_some()
+                    && is_silent(sim.protocol(), sim.states());
+                usize::from(!ok)
+            })
+            .into_iter()
+            .sum();
+            assert_eq!(failures, 0, "n={n}");
+        }
+    }
+
+    #[test]
+    fn time_shape_is_n2_logn() {
+        // Coupon-collector shape: T/(n² ln n) should be Θ(1).
+        for n in [32usize, 64] {
+            let times = run_seed_range(5, |seed| {
+                let p = NaiveLeaderRanking::new(n);
+                let init = p.initial();
+                let mut sim = Simulator::new(p, init, seed);
+                let budget = 200 * (n as u64).pow(2) * 7;
+                sim.run_until(is_valid_ranking, budget, n as u64)
+                    .converged_at()
+                    .expect("must converge") as f64
+            });
+            let mean = times.iter().sum::<f64>() / times.len() as f64;
+            let normalized = mean / ((n * n) as f64 * (n as f64).ln());
+            assert!(
+                normalized > 0.2 && normalized < 5.0,
+                "n={n}: normalized time {normalized} outside coupon-collector range"
+            );
+        }
+    }
+}

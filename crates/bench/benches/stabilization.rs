@@ -1,0 +1,91 @@
+//! End-to-end stabilization wall time at a small population size, across
+//! the implemented protocols. Complements the `bench` binaries (which
+//! report the interaction counts the paper uses) with a like-for-like
+//! wall-clock comparison of the implementations.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use baselines::burman::BurmanRanking;
+use baselines::naive::NaiveLeaderRanking;
+use leader_election::tournament::TournamentLe;
+use population::{is_valid_ranking, Simulator};
+use ranking::space_efficient::SpaceEfficientRanking;
+use ranking::stable::StableRanking;
+use ranking::Params;
+
+const N: usize = 64;
+
+fn budget() -> u64 {
+    (8000.0 * (N * N) as f64 * (N as f64).log2()) as u64
+}
+
+fn bench_stable(c: &mut Criterion) {
+    let mut seed = 0;
+    c.bench_function("stabilize_stable_n64_adversarial", |b| {
+        b.iter(|| {
+            seed += 1;
+            let protocol = StableRanking::new(Params::new(N));
+            let init = protocol.adversarial_uniform(seed);
+            let mut sim = Simulator::new(protocol, init, seed);
+            let stop = sim.run_until(is_valid_ranking, budget(), N as u64);
+            black_box(stop.converged_at())
+        });
+    });
+}
+
+fn bench_space_efficient(c: &mut Criterion) {
+    let mut seed = 0;
+    c.bench_function("stabilize_space_efficient_n64", |b| {
+        b.iter(|| {
+            seed += 1;
+            let protocol = SpaceEfficientRanking::new(&Params::new(N), TournamentLe::for_n(N));
+            let init = protocol.initial();
+            let mut sim = Simulator::new(protocol, init, seed);
+            let stop = sim.run_until(is_valid_ranking, budget(), N as u64);
+            black_box(stop.converged_at())
+        });
+    });
+}
+
+fn bench_burman(c: &mut Criterion) {
+    let mut seed = 0;
+    c.bench_function("stabilize_burman_n64_adversarial", |b| {
+        b.iter(|| {
+            seed += 1;
+            let protocol = BurmanRanking::new(N);
+            let init = protocol.adversarial(seed);
+            let mut sim = Simulator::new(protocol, init, seed);
+            let stop = sim.run_until(is_valid_ranking, budget(), N as u64);
+            black_box(stop.converged_at())
+        });
+    });
+}
+
+fn bench_naive(c: &mut Criterion) {
+    let mut seed = 0;
+    c.bench_function("stabilize_naive_n64", |b| {
+        b.iter(|| {
+            seed += 1;
+            let protocol = NaiveLeaderRanking::new(N);
+            let init = protocol.initial();
+            let mut sim = Simulator::new(protocol, init, seed);
+            let stop = sim.run_until(is_valid_ranking, budget(), N as u64);
+            black_box(stop.converged_at())
+        });
+    });
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(5))
+        .warm_up_time(std::time::Duration::from_millis(500))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_stable, bench_space_efficient, bench_burman, bench_naive
+}
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! E11 — the Cai–Izumi–Wada baseline runs in `Θ(n³)` expected
+//! interactions, the gap the paper's `O(n² log n)` protocol closes.
+//!
+//! From the all-equal worst case, measure convergence to a silent
+//! permutation and fit `T = a·n^b`: the exponent should land near 3,
+//! versus ≈ 2.1–2.3 for the paper's protocols (cf. `table_comparison`).
+//!
+//! Usage: `cargo run --release -p bench --bin cai_scaling -- [sims=10]`
+
+use analysis::fit::power_fit;
+use analysis::stats::Summary;
+use baselines::cai::CaiRanking;
+use bench::{f3, print_table, Args};
+use population::runner::run_seed_range;
+use population::{is_valid_ranking, Simulator};
+
+fn main() {
+    let args = Args::from_env();
+    let sims: u64 = args.get("sims", 10);
+
+    let mut rows = Vec::new();
+    let mut points = Vec::new();
+    for n in [8usize, 16, 32, 64, 128] {
+        let times: Vec<f64> = run_seed_range(sims, |seed| {
+            let protocol = CaiRanking::new(n);
+            let init = protocol.all_equal();
+            let mut sim = Simulator::new(protocol, init, seed);
+            let budget = 400 * (n as u64).pow(3);
+            sim.run_until(is_valid_ranking, budget, n as u64)
+                .converged_at()
+                .expect("Cai protocol must converge") as f64
+        });
+        let s = Summary::of(&times);
+        points.push((n as f64, s.mean));
+        rows.push(vec![
+            n.to_string(),
+            f3(s.mean / (n as f64).powi(3)),
+            f3(s.median / (n as f64).powi(3)),
+            f3(s.max / (n as f64).powi(3)),
+        ]);
+    }
+
+    print_table(
+        &format!("Cai et al. convergence from all-equal, unit n^3 ({sims} sims)"),
+        &["n", "mean/n^3", "median/n^3", "max/n^3"],
+        &rows,
+    );
+    let fit = power_fit(&points);
+    println!(
+        "\npower fit: T ~ {:.3} * n^{:.3} (R^2 = {:.4})",
+        fit.a, fit.b, fit.r_squared
+    );
+    println!("expected shape: exponent near 3; normalized values roughly flat.");
+}

@@ -1,0 +1,85 @@
+//! E9 — Lemma 28: synthetic-coin balance after warm-up.
+//!
+//! All coins start at tails (the adversarial extreme). Lemma 28: after
+//! `t ≥ n·log(4·log n)/2` interactions the number of zeros lies in
+//! `(1 ± 1/(4 log n))·n/2` w.h.p.
+//!
+//! Starting from all-tails, an agent's coin is heads iff it was responder
+//! an odd number of times, so `E[#heads] = (1 − e^{−2t/n})·n/2`: the
+//! *bias* term `e^{−2t/n}·n/2` decays with the warm-up length, while the
+//! random fluctuation is `Θ(√n)`. Reading the lemma's `log` as `log₂`
+//! makes the bias comfortably smaller than the band; with natural logs
+//! the bias sits exactly at the band edge — we report both horizons
+//! (`t₀ = n·log₂(4·log₂ n)/2` and `4t₀`) to make the effect visible.
+//!
+//! Usage: `cargo run --release -p bench --bin coin_balance -- [sims=50]`
+
+use analysis::stats::Summary;
+use bench::{f3, print_table, Args};
+use population::primitives::coin::CoinPopulation;
+use population::runner::run_seed_range;
+use population::Simulator;
+
+fn measure(n: usize, warmup: u64, sims: u64) -> (Summary, usize) {
+    let band = (n as f64) / 2.0 / (4.0 * (n as f64).ln());
+    let (devs, inside): (Vec<f64>, Vec<bool>) = run_seed_range(sims, |seed| {
+        let protocol = CoinPopulation::new(n);
+        let init = protocol.all_tails();
+        let mut sim = Simulator::new(protocol, init, seed);
+        sim.run(warmup);
+        let heads = CoinPopulation::heads_count(sim.states()) as f64;
+        let dev = (heads - n as f64 / 2.0).abs();
+        (dev, dev <= band)
+    })
+    .into_iter()
+    .unzip();
+    (Summary::of(&devs), inside.iter().filter(|b| **b).count())
+}
+
+fn main() {
+    let args = Args::from_env();
+    let sims: u64 = args.get("sims", 50);
+
+    let mut rows = Vec::new();
+    for n in [256usize, 1024, 4096, 16384] {
+        let log2n = (n as f64).log2();
+        let t0 = ((n as f64) * (4.0 * log2n).log2() / 2.0).ceil() as u64;
+        let band = (n as f64) / 2.0 / (4.0 * (n as f64).ln());
+        for (label, warmup) in [("t0", t0), ("4*t0", 4 * t0)] {
+            let (s, in_band) = measure(n, warmup, sims);
+            let bias = (-2.0 * warmup as f64 / n as f64).exp() * n as f64 / 2.0;
+            rows.push(vec![
+                n.to_string(),
+                label.to_string(),
+                warmup.to_string(),
+                f3(band),
+                f3(bias),
+                f3(s.mean),
+                f3(s.max),
+                format!("{in_band}/{sims}"),
+            ]);
+        }
+    }
+
+    print_table(
+        &format!("Lemma 28: coin deviation from n/2 (all-tails start, {sims} sims)"),
+        &[
+            "n",
+            "horizon",
+            "t",
+            "band n/(8 ln n)",
+            "residual bias",
+            "mean |dev|",
+            "max |dev|",
+            "within band",
+        ],
+        &rows,
+    );
+    println!(
+        "\nexpected shape: the residual bias e^(-2t/n)*n/2 shrinks with the \
+         warm-up while the sqrt(n) fluctuation stays; at 4*t0 the bias is \
+         negligible and the in-band fraction approaches 1 for large n \
+         (band/sqrt(n) grows). The protocol's dormancy period D_max = \
+         Theta(log n) per agent corresponds to the 4*t0 regime."
+    );
+}

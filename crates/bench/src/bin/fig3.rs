@@ -1,0 +1,118 @@
+//! E2 — Figure 3: interactions (normalized by n²) to rank constant
+//! fractions of the population.
+//!
+//! Initialization per the paper's caption: one agent holds rank 1 (the
+//! unaware leader), all others are still in a leader-election state.
+//! For each `n ∈ {2⁷, …}` we record when `c·n` agents are ranked for
+//! `c ∈ {1/2, 3/4, 7/8, 15/16}`. The paper runs 100 simulations per `n`
+//! up to `n = 2¹³`; the default here is 25 simulations up to `n = 2¹⁰`
+//! (pass `--full` for the paper-scale sweep).
+//!
+//! Expected shape: after `Θ(n²)` interactions constant fractions are
+//! ranked (normalized values roughly flat in `n`), with successive
+//! fractions spaced like a coupon collector — ranking the next half of
+//! the remainder costs about as much as everything before it.
+//!
+//! Usage: `cargo run --release -p bench --bin fig3 -- [sims=25] [--full]
+//! [--csv]`
+
+use analysis::stats::Summary;
+use bench::{f3, print_csv, print_table, Args};
+use population::runner::run_seed_range;
+use population::{ranked_count, Simulator};
+use ranking::stable::StableRanking;
+use ranking::Params;
+
+const FRACTIONS: [(u64, u64, &str); 4] = [
+    (1, 2, "1/2"),
+    (3, 4, "3/4"),
+    (7, 8, "7/8"),
+    (15, 16, "15/16"),
+];
+
+fn main() {
+    let args = Args::from_env();
+    let full = args.flag("full");
+    let sims: u64 = args.get("sims", if full { 100 } else { 25 });
+    let max_exp: u32 = args.get("max_exp", if full { 13 } else { 10 });
+    let min_exp: u32 = args.get("min_exp", 7);
+
+    let mut rows = Vec::new();
+    for exp in min_exp..=max_exp {
+        let n = 1usize << exp;
+        let thresholds: Vec<u64> = FRACTIONS
+            .iter()
+            .map(|(num, den, _)| (n as u64) * num / den)
+            .collect();
+
+        // Each simulation returns the crossing time (interactions) for
+        // each fraction, or None if the budget ran out (e.g. a rare
+        // reset).
+        let results = run_seed_range(sims, |seed| {
+            let protocol = StableRanking::new(Params::new(n));
+            let init = protocol.figure3();
+            let mut sim = Simulator::new(protocol, init, seed);
+            let budget = 60 * (n as u64) * (n as u64);
+            let mut crossings: Vec<Option<u64>> = vec![None; thresholds.len()];
+            let check = (n as u64).max(64);
+            while sim.interactions() < budget {
+                sim.run(check);
+                let ranked = ranked_count(sim.states()) as u64;
+                for (i, &th) in thresholds.iter().enumerate() {
+                    if crossings[i].is_none() && ranked >= th {
+                        crossings[i] = Some(sim.interactions());
+                    }
+                }
+                if crossings.iter().all(|c| c.is_some()) {
+                    break;
+                }
+            }
+            crossings
+        });
+
+        for (i, (_, _, label)) in FRACTIONS.iter().enumerate() {
+            let times: Vec<f64> = results
+                .iter()
+                .filter_map(|r| r[i])
+                .map(|t| t as f64 / (n * n) as f64)
+                .collect();
+            if times.is_empty() {
+                continue;
+            }
+            let s = Summary::of(&times);
+            rows.push(vec![
+                n.to_string(),
+                (*label).to_string(),
+                f3(s.mean),
+                f3(s.median),
+                f3(s.min),
+                f3(s.max),
+                format!("{}/{}", times.len(), sims),
+            ]);
+        }
+    }
+
+    let headers = [
+        "n",
+        "fraction",
+        "mean t/n^2",
+        "median",
+        "min",
+        "max",
+        "completed",
+    ];
+    if args.flag("csv") {
+        print_csv(&headers, &rows);
+    } else {
+        print_table(
+            &format!("Figure 3: interactions/n^2 to rank c*n agents ({sims} sims)"),
+            &headers,
+            &rows,
+        );
+        println!(
+            "\nexpected shape (paper): values roughly flat in n per fraction; \
+             1/2 around 2-4, 15/16 around 6-10, successive fractions roughly \
+             equally spaced (coupon-collector behaviour)."
+        );
+    }
+}

@@ -1,0 +1,102 @@
+//! E3/E4 — scaling-law fits for Theorems 1 and 2.
+//!
+//! Measures stabilization interactions across a geometric range of `n`
+//! and fits `T = a·n^b`: both theorems predict `b ≈ 2` (up to the
+//! `log n` factor, which pushes the fitted exponent slightly above 2),
+//! in contrast to the Cai baseline's `b ≈ 3` (see `cai_scaling`).
+//! Additionally reports `T/(n² log₂ n)`, which the theorems predict to
+//! be roughly constant.
+//!
+//! Usage: `cargo run --release -p bench --bin scaling -- [sims=8]
+//! [max_exp=8]`
+
+use analysis::fit::power_fit;
+use analysis::stats::Summary;
+use bench::{f3, print_table, Args};
+use leader_election::tournament::TournamentLe;
+use population::runner::run_seed_range;
+use population::{is_valid_ranking, Simulator};
+use ranking::space_efficient::SpaceEfficientRanking;
+use ranking::stable::StableRanking;
+use ranking::Params;
+
+fn main() {
+    let args = Args::from_env();
+    let sims: u64 = args.get("sims", 8);
+    let max_exp: u32 = args.get("max_exp", 8);
+
+    let sizes: Vec<usize> = (4..=max_exp).map(|e| 1usize << e).collect();
+
+    // ---- Theorem 2: StableRanking from adversarial configurations ----
+    let mut rows = Vec::new();
+    let mut pts_stable = Vec::new();
+    for &n in &sizes {
+        let times: Vec<f64> = run_seed_range(sims, |seed| {
+            let protocol = StableRanking::new(Params::new(n));
+            let init = protocol.adversarial_uniform(seed * 101 + 7);
+            let mut sim = Simulator::new(protocol, init, seed);
+            let budget = (10_000.0 * (n * n) as f64 * (n as f64).log2()) as u64;
+            sim.run_until(is_valid_ranking, budget, n as u64)
+                .converged_at()
+                .map(|t| t as f64)
+        })
+        .into_iter()
+        .flatten()
+        .collect();
+        let s = Summary::of(&times);
+        pts_stable.push((n as f64, s.mean));
+        rows.push(vec![
+            n.to_string(),
+            f3(s.mean / ((n * n) as f64 * (n as f64).log2())),
+            f3(s.median / ((n * n) as f64 * (n as f64).log2())),
+            format!("{}/{sims}", times.len()),
+        ]);
+    }
+    print_table(
+        &format!("Theorem 2: StableRanking stabilization, unit n^2 log2 n ({sims} sims)"),
+        &["n", "mean", "median", "completed"],
+        &rows,
+    );
+    let fit = power_fit(&pts_stable);
+    println!(
+        "power fit: T ~ {:.2} * n^{:.3} (R^2 = {:.4}) — expected exponent ~2.1-2.5",
+        fit.a, fit.b, fit.r_squared
+    );
+
+    // ---- Theorem 1: SpaceEfficientRanking from the clean start ----
+    let mut rows = Vec::new();
+    let mut pts_se = Vec::new();
+    for &n in &sizes {
+        let times: Vec<f64> = run_seed_range(sims, |seed| {
+            let protocol =
+                SpaceEfficientRanking::new(&Params::new(n), TournamentLe::for_n(n));
+            let init = protocol.initial();
+            let mut sim = Simulator::new(protocol, init, seed);
+            let budget = (10_000.0 * (n * n) as f64 * (n as f64).log2()) as u64;
+            sim.run_until(is_valid_ranking, budget, n as u64)
+                .converged_at()
+                .map(|t| t as f64)
+        })
+        .into_iter()
+        .flatten()
+        .collect();
+        let s = Summary::of(&times);
+        pts_se.push((n as f64, s.mean));
+        rows.push(vec![
+            n.to_string(),
+            f3(s.mean / ((n * n) as f64 * (n as f64).log2())),
+            f3(s.median / ((n * n) as f64 * (n as f64).log2())),
+            format!("{}/{sims}", times.len()),
+        ]);
+    }
+    print_table(
+        &format!("Theorem 1: SpaceEfficientRanking, unit n^2 log2 n ({sims} sims)"),
+        &["n", "mean", "median", "completed"],
+        &rows,
+    );
+    let fit = power_fit(&pts_se);
+    println!(
+        "power fit: T ~ {:.2} * n^{:.3} (R^2 = {:.4}) — expected exponent ~2.1-2.5",
+        fit.a, fit.b, fit.r_squared
+    );
+}

@@ -1,0 +1,202 @@
+//! State-space accounting.
+//!
+//! The paper's headline is a *space* bound: `StableRanking` uses
+//! `n + O(log² n)` states, exponentially fewer overhead states than the
+//! `n + Ω(n)` of prior self-stabilizing ranking protocols. This module
+//! makes the claim checkable:
+//!
+//! * [`stable_state_bound`] computes the analytic size of the implemented
+//!   state space from the parameters (exact products, not asymptotics);
+//! * [`StateAudit`] records every distinct state observed during a run
+//!   (via the injective [`StableState::encode`]) so tests can assert
+//!   `observed ⊆ analytic` and experiments can report real usage.
+
+use std::collections::HashSet;
+
+use crate::params::Params;
+use crate::stable::StableState;
+
+/// Breakdown of the analytic state-space size of `STABLERANKING`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StateBudget {
+    /// The `n` rank states (the information-theoretic minimum).
+    pub rank_states: u64,
+    /// `PROPAGATERESET` states: `2 · (R_max+1) · (D_max+1)` (coin ×
+    /// resetCount × delayCount).
+    pub reset_states: u64,
+    /// `FASTLEADERELECTION` states:
+    /// `2 · (L_max+1) · (⌈log n⌉+1) · 4` (coin × LECount × coinCount ×
+    /// flags).
+    pub elect_states: u64,
+    /// Main-protocol unranked states:
+    /// `2 · (L_max+1) · (waitMax + ⌈log n⌉)` (coin × aliveCount ×
+    /// (waitCount ⊎ phase)).
+    pub main_states: u64,
+}
+
+impl StateBudget {
+    /// Total number of states.
+    pub fn total(&self) -> u64 {
+        self.rank_states + self.overhead()
+    }
+
+    /// Overhead states — everything beyond the `n` ranks. The paper's
+    /// claim is that this is `O(log² n)`.
+    pub fn overhead(&self) -> u64 {
+        self.reset_states + self.elect_states + self.main_states
+    }
+}
+
+/// Analytic state-space size of `STABLERANKING` for `params`.
+pub fn stable_state_bound(params: &Params) -> StateBudget {
+    let n = params.n() as u64;
+    let r = u64::from(params.r_max()) + 1;
+    let d = u64::from(params.d_max()) + 1;
+    let l = u64::from(params.l_max()) + 1;
+    let ct = u64::from(params.coin_target()) + 1;
+    let wait = u64::from(params.wait_max());
+    let kmax = u64::from(params.fseq().kmax());
+    StateBudget {
+        rank_states: n,
+        reset_states: 2 * r * d,
+        elect_states: 2 * l * ct * 4,
+        main_states: 2 * l * (wait + kmax),
+    }
+}
+
+/// Records the set of distinct states seen over a run.
+#[derive(Debug, Default)]
+pub struct StateAudit {
+    codes: HashSet<u64>,
+    ranked_codes: HashSet<u64>,
+}
+
+impl StateAudit {
+    /// New, empty audit.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record all states of a configuration.
+    pub fn record(&mut self, params: &Params, states: &[StableState]) {
+        for s in states {
+            let code = s.encode(params);
+            self.codes.insert(code);
+            if matches!(s, StableState::Ranked(_)) {
+                self.ranked_codes.insert(code);
+            }
+        }
+    }
+
+    /// Number of distinct states observed.
+    pub fn distinct(&self) -> usize {
+        self.codes.len()
+    }
+
+    /// Number of distinct *overhead* (non-rank) states observed.
+    pub fn distinct_overhead(&self) -> usize {
+        self.codes.len() - self.ranked_codes.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stable::StableRanking;
+    use population::{is_valid_ranking, Simulator};
+
+    #[test]
+    fn budget_matches_hand_computation_for_n256() {
+        // n = 256: R_max = 16, D_max = 32, L_max = 32, ⌈log n⌉ = 8,
+        // waitMax = 16, kmax = 8.
+        let p = Params::new(256);
+        let b = stable_state_bound(&p);
+        assert_eq!(b.rank_states, 256);
+        assert_eq!(b.reset_states, 2 * 17 * 33);
+        assert_eq!(b.elect_states, 2 * 33 * 9 * 4);
+        assert_eq!(b.main_states, 2 * 33 * (16 + 8));
+        assert_eq!(b.total(), b.rank_states + b.overhead());
+    }
+
+    #[test]
+    fn overhead_grows_like_log_squared() {
+        // The paper's Theorem 2: overhead = O(log² n). Check the ratio
+        // overhead / log₂² n is bounded and roughly flat over 4 decades.
+        let mut ratios = Vec::new();
+        for exp in [10u32, 14, 18, 22] {
+            let n = 1usize << exp;
+            let b = stable_state_bound(&Params::new(n));
+            let log2n = f64::from(exp);
+            ratios.push(b.overhead() as f64 / (log2n * log2n));
+        }
+        for r in &ratios {
+            assert!(*r < 120.0, "overhead/log² ratio too large: {r}");
+        }
+        let spread = ratios.iter().cloned().fold(f64::MIN, f64::max)
+            / ratios.iter().cloned().fold(f64::MAX, f64::min);
+        assert!(
+            spread < 3.0,
+            "overhead is not Θ(log² n): ratio spread {spread}"
+        );
+    }
+
+    #[test]
+    fn overhead_is_sublinear_for_large_n() {
+        // The exponential improvement over Burman et al.: overhead ≪ n.
+        for exp in [16u32, 20, 24] {
+            let n = 1usize << exp;
+            let b = stable_state_bound(&Params::new(n));
+            assert!(
+                (b.overhead() as f64) < (n as f64) * 0.6,
+                "n=2^{exp}: overhead {} not sublinear",
+                b.overhead()
+            );
+        }
+    }
+
+    #[test]
+    fn observed_states_stay_within_analytic_budget() {
+        // Run the protocol from an adversarial configuration, recording
+        // every state along the way; all must fit the analytic budget.
+        let n = 32;
+        let params = Params::new(n);
+        let protocol = StableRanking::new(params.clone());
+        let init = protocol.adversarial_uniform(99);
+        let mut sim = Simulator::new(protocol, init, 5);
+        let mut audit = StateAudit::new();
+        let budget = stable_state_bound(&params);
+        let mut done = false;
+        for _ in 0..20_000 {
+            if is_valid_ranking(sim.states()) {
+                done = true;
+                break;
+            }
+            sim.run(64);
+            audit.record(&params, sim.states());
+        }
+        assert!(done, "run did not stabilize within the audit budget");
+        assert!(
+            (audit.distinct() as u64) <= budget.total(),
+            "observed {} distinct states, budget {}",
+            audit.distinct(),
+            budget.total()
+        );
+        assert!(
+            (audit.distinct_overhead() as u64) <= budget.overhead(),
+            "observed {} overhead states, budget {}",
+            audit.distinct_overhead(),
+            budget.overhead()
+        );
+    }
+
+    #[test]
+    fn audit_counts_distinct_not_total() {
+        let params = Params::new(8);
+        let mut audit = StateAudit::new();
+        let states = vec![StableState::Ranked(1), StableState::Ranked(1)];
+        audit.record(&params, &states);
+        audit.record(&params, &states);
+        assert_eq!(audit.distinct(), 1);
+        assert_eq!(audit.distinct_overhead(), 0);
+    }
+}

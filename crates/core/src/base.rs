@@ -1,0 +1,340 @@
+//! Protocol 2 — `RANKING` — as a pure, shared state machine.
+//!
+//! Both `SpaceEfficientRanking` (Protocol 1) and `Ranking⁺` (Protocol 4)
+//! execute this transition over the three agent roles of the main phase:
+//! *ranked* (holds `rank ∈ [n]`), *phase* (holds `phase ∈ [⌈log₂ n⌉]`) and
+//! *waiting* (holds `waitCount`). Implementing it once keeps the paper's
+//! core logic in a single audited place; the embedders adapt their richer
+//! state types to [`RankRole`] views and interpret the returned
+//! [`RankingStep`] effects (Protocol 4 needs to know when the initiator
+//! became waiting to initialize its coin and liveness counter, lines
+//! 17–18).
+//!
+//! Line-by-line correspondence with the paper is kept in comments.
+
+use crate::fseq::FSeq;
+
+/// The three main-phase roles of Protocol 2.
+///
+/// The paper's space constraint — an agent holds *exactly one* of `rank`,
+/// `phase`, `waitCount` — is enforced by this being an `enum`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum RankRole {
+    /// `rank(v) ∈ [n]`.
+    Ranked(u64),
+    /// `phase(v) ∈ [⌈log₂ n⌉]`.
+    Phase(u32),
+    /// `waitCount(v) ∈ [⌈c_wait log n⌉]`.
+    Waiting(u32),
+}
+
+impl RankRole {
+    /// The rank output by this role, if ranked.
+    pub fn rank(&self) -> Option<u64> {
+        match self {
+            RankRole::Ranked(r) => Some(*r),
+            _ => None,
+        }
+    }
+
+    /// The stored phase, if a phase agent.
+    pub fn phase(&self) -> Option<u32> {
+        match self {
+            RankRole::Phase(k) => Some(*k),
+            _ => None,
+        }
+    }
+}
+
+/// Effects of one [`ranking_step`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RankingStep {
+    /// Did any state change?
+    pub changed: bool,
+    /// Protocol 2 lines 8–9 fired: the initiator gave out the last rank of
+    /// a non-final phase and became a waiting agent. Protocol 4 (lines
+    /// 17–18) initializes the new waiting agent's coin and liveness
+    /// counter when this is set.
+    pub initiator_became_waiting: bool,
+}
+
+/// One interaction of Protocol 2 between initiator `u` and responder `v`.
+///
+/// `wait_max` is `⌈c_wait · log n⌉`, the reset value for `waitCount`.
+pub fn ranking_step(fseq: &FSeq, wait_max: u32, u: &mut RankRole, v: &mut RankRole) -> RankingStep {
+    let mut step = RankingStep::default();
+
+    // Line 1: if phase(v) = ⊥ then return — only phase-agent responders
+    // trigger any action.
+    let k = match *v {
+        RankRole::Phase(k) => k,
+        _ => return step,
+    };
+
+    match u {
+        // Lines 2–11: a ranked initiator may assign a rank or certify the
+        // end of phase k.
+        RankRole::Ranked(r) => {
+            let window = fseq.leader_window(k); // f_k − f_{k+1}
+            if *r >= 1 && *r <= window {
+                // Lines 4–5: u is (believes itself) the unaware leader —
+                // assign rank f_{k+1} + r to v.
+                *v = RankRole::Ranked(fseq.f(k + 1) + *r);
+                step.changed = true;
+                if *r < window {
+                    // Lines 6–7: phase k not finished; take the next rank.
+                    *r += 1;
+                } else if k < fseq.kmax() {
+                    // Lines 8–9: end of a non-final phase — become a
+                    // waiting agent. (In the final phase the leader simply
+                    // keeps rank 1 and the protocol is silent.)
+                    *u = RankRole::Waiting(wait_max);
+                    step.initiator_became_waiting = true;
+                }
+            }
+            // Lines 10–11: the holder of the *last* rank of phase k tells
+            // v that phase k is over. Evaluated sequentially, as in the
+            // paper; note lines 4–9 and this branch are mutually
+            // exclusive because f_k − f_{k+1} < f_k.
+            if let RankRole::Ranked(r_now) = u {
+                if *r_now == fseq.f(k) {
+                    if let RankRole::Phase(kv) = v {
+                        // Saturate at k_max: the paper's state space caps
+                        // phase at ⌈log₂ n⌉; exceeding it is only reachable
+                        // from corrupted configurations, where staying at
+                        // k_max keeps the agent rankable (and any resulting
+                        // duplicate rank is caught by Ranking⁺).
+                        if *kv < fseq.kmax() {
+                            *kv += 1;
+                            step.changed = true;
+                        }
+                    }
+                }
+            }
+        }
+        // Lines 12–14: two phase agents spread the more advanced phase.
+        RankRole::Phase(ku) => {
+            let m = (*ku).max(k);
+            if *ku != m || k != m {
+                *u = RankRole::Phase(m);
+                *v = RankRole::Phase(m);
+                step.changed = true;
+            }
+        }
+        // Lines 15–19: a waiting agent counts down on meetings with phase
+        // agents and finally re-enters as the unaware leader with rank 1.
+        RankRole::Waiting(w) => {
+            *w -= 1;
+            step.changed = true;
+            if *w == 0 {
+                *u = RankRole::Ranked(1);
+            }
+        }
+    }
+    step
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fs8() -> FSeq {
+        FSeq::new(8) // f = [8, 4, 2, 1], kmax = 3
+    }
+
+    #[test]
+    fn ranked_responder_blocks_everything() {
+        let fs = fs8();
+        for u0 in [RankRole::Ranked(3), RankRole::Phase(2), RankRole::Waiting(5)] {
+            let mut u = u0;
+            let mut v = RankRole::Ranked(7);
+            let step = ranking_step(&fs, 6, &mut u, &mut v);
+            assert!(!step.changed);
+            assert_eq!(u, u0);
+            assert_eq!(v, RankRole::Ranked(7));
+        }
+    }
+
+    #[test]
+    fn waiting_responder_blocks_everything() {
+        let fs = fs8();
+        let mut u = RankRole::Ranked(1);
+        let mut v = RankRole::Waiting(3);
+        let step = ranking_step(&fs, 6, &mut u, &mut v);
+        assert!(!step.changed);
+        assert_eq!(v, RankRole::Waiting(3));
+    }
+
+    #[test]
+    fn leader_assigns_phase_one_sequence() {
+        // n = 8, phase 1: window = f1 − f2 = 4, ranks 5..=8 assigned.
+        let fs = fs8();
+        let mut leader = RankRole::Ranked(1);
+        for expected_rank in 5..=7 {
+            let mut v = RankRole::Phase(1);
+            let step = ranking_step(&fs, 6, &mut leader, &mut v);
+            assert!(step.changed && !step.initiator_became_waiting);
+            assert_eq!(v, RankRole::Ranked(expected_rank));
+        }
+        assert_eq!(leader, RankRole::Ranked(4));
+        // Fourth assignment: rank 8 = f_1 goes out, leader starts waiting.
+        let mut v = RankRole::Phase(1);
+        let step = ranking_step(&fs, 6, &mut leader, &mut v);
+        assert!(step.changed && step.initiator_became_waiting);
+        assert_eq!(v, RankRole::Ranked(8));
+        assert_eq!(leader, RankRole::Waiting(6));
+    }
+
+    #[test]
+    fn final_phase_leader_keeps_rank_one() {
+        // Phase 3 (final for n = 8): window = f3 − f4 = 1; the leader
+        // assigns rank 2 and stays at rank 1 — the protocol becomes silent.
+        let fs = fs8();
+        let mut leader = RankRole::Ranked(1);
+        let mut v = RankRole::Phase(3);
+        let step = ranking_step(&fs, 6, &mut leader, &mut v);
+        assert!(step.changed);
+        assert!(!step.initiator_became_waiting);
+        assert_eq!(v, RankRole::Ranked(2));
+        assert_eq!(leader, RankRole::Ranked(1));
+    }
+
+    #[test]
+    fn non_leader_ranked_agent_does_not_assign() {
+        // rank 5 > window 4 in phase 1: no assignment, no phase bump
+        // (5 ≠ f_1 = 8).
+        let fs = fs8();
+        let mut u = RankRole::Ranked(5);
+        let mut v = RankRole::Phase(1);
+        let step = ranking_step(&fs, 6, &mut u, &mut v);
+        assert!(!step.changed);
+        assert_eq!(u, RankRole::Ranked(5));
+        assert_eq!(v, RankRole::Phase(1));
+    }
+
+    #[test]
+    fn last_rank_holder_advances_phase() {
+        // Holder of f_1 = 8 certifies the end of phase 1.
+        let fs = fs8();
+        let mut u = RankRole::Ranked(8);
+        let mut v = RankRole::Phase(1);
+        let step = ranking_step(&fs, 6, &mut u, &mut v);
+        assert!(step.changed);
+        assert_eq!(u, RankRole::Ranked(8));
+        assert_eq!(v, RankRole::Phase(2));
+    }
+
+    #[test]
+    fn phase_bump_saturates_at_kmax() {
+        // Corrupted-configuration case: f_3 = 2 meets a phase-3 agent;
+        // phase must not exceed kmax = 3 (state-space cap).
+        let fs = fs8();
+        let mut u = RankRole::Ranked(2);
+        let mut v = RankRole::Phase(3);
+        let step = ranking_step(&fs, 6, &mut u, &mut v);
+        assert!(!step.changed);
+        assert_eq!(v, RankRole::Phase(3));
+    }
+
+    #[test]
+    fn phase_agents_adopt_maximum() {
+        let fs = fs8();
+        let mut u = RankRole::Phase(1);
+        let mut v = RankRole::Phase(3);
+        let step = ranking_step(&fs, 6, &mut u, &mut v);
+        assert!(step.changed);
+        assert_eq!(u, RankRole::Phase(3));
+        assert_eq!(v, RankRole::Phase(3));
+
+        // Equal phases: no change.
+        let step = ranking_step(&fs, 6, &mut u, &mut v);
+        assert!(!step.changed);
+    }
+
+    #[test]
+    fn waiting_agent_counts_down_on_phase_meetings_only() {
+        let fs = fs8();
+        let mut u = RankRole::Waiting(3);
+        // Meeting a ranked agent: no decrement (line 1 guard).
+        let mut r = RankRole::Ranked(6);
+        ranking_step(&fs, 6, &mut u, &mut r);
+        assert_eq!(u, RankRole::Waiting(3));
+        // Meetings with phase agents decrement.
+        let mut v = RankRole::Phase(2);
+        ranking_step(&fs, 6, &mut u, &mut v);
+        assert_eq!(u, RankRole::Waiting(2));
+        ranking_step(&fs, 6, &mut u, &mut v);
+        assert_eq!(u, RankRole::Waiting(1));
+        // Final decrement: the unaware leader is reborn with rank 1.
+        let step = ranking_step(&fs, 6, &mut u, &mut v);
+        assert!(step.changed);
+        assert_eq!(u, RankRole::Ranked(1));
+        // The phase agent itself is untouched by the countdown.
+        assert_eq!(v, RankRole::Phase(2));
+    }
+
+    #[test]
+    fn mid_window_leader_resumes_after_wait() {
+        // Phase 2 of n = 8: window = f2 − f3 = 2, ranks 3..=4.
+        let fs = fs8();
+        let mut leader = RankRole::Ranked(1);
+        let mut v1 = RankRole::Phase(2);
+        ranking_step(&fs, 6, &mut leader, &mut v1);
+        assert_eq!(v1, RankRole::Ranked(3));
+        assert_eq!(leader, RankRole::Ranked(2));
+        let mut v2 = RankRole::Phase(2);
+        let step = ranking_step(&fs, 6, &mut leader, &mut v2);
+        assert_eq!(v2, RankRole::Ranked(4));
+        assert!(step.initiator_became_waiting);
+        assert_eq!(leader, RankRole::Waiting(6));
+    }
+
+    #[test]
+    fn full_scripted_run_for_n4_reaches_permutation() {
+        // Hand-driven schedule for n = 4 (f = [4, 2, 1], kmax = 2):
+        // leader assigns 3, 4 in phase 1, waits, rank-4 holder bumps the
+        // remaining phase agent, leader returns and assigns 2.
+        let fs = FSeq::new(4);
+        let wait_max = 2;
+        let mut a = RankRole::Ranked(1); // unaware leader
+        let mut b = RankRole::Phase(1);
+        let mut c = RankRole::Phase(1);
+        let mut d = RankRole::Phase(1);
+
+        ranking_step(&fs, wait_max, &mut a, &mut b); // b := rank 3
+        assert_eq!(b, RankRole::Ranked(3));
+        let s = ranking_step(&fs, wait_max, &mut a, &mut c); // c := rank 4
+        assert_eq!(c, RankRole::Ranked(4));
+        assert!(s.initiator_became_waiting);
+        assert_eq!(a, RankRole::Waiting(2));
+
+        // Rank 4 = f_1 certifies end of phase 1 to d.
+        ranking_step(&fs, wait_max, &mut c, &mut d);
+        assert_eq!(d, RankRole::Phase(2));
+
+        // Leader waits out two meetings with d, returns as rank 1.
+        ranking_step(&fs, wait_max, &mut a, &mut d);
+        ranking_step(&fs, wait_max, &mut a, &mut d);
+        assert_eq!(a, RankRole::Ranked(1));
+
+        // Final phase: d gets rank f_3 + 1 = 2.
+        ranking_step(&fs, wait_max, &mut a, &mut d);
+        assert_eq!(d, RankRole::Ranked(2));
+        assert_eq!(a, RankRole::Ranked(1));
+
+        let mut ranks = [a, b, c, d]
+            .iter()
+            .map(|r| r.rank().expect("all ranked"))
+            .collect::<Vec<_>>();
+        ranks.sort_unstable();
+        assert_eq!(ranks, vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn role_accessors() {
+        assert_eq!(RankRole::Ranked(5).rank(), Some(5));
+        assert_eq!(RankRole::Ranked(5).phase(), None);
+        assert_eq!(RankRole::Phase(2).phase(), Some(2));
+        assert_eq!(RankRole::Waiting(1).rank(), None);
+    }
+}

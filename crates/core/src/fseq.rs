@@ -1,0 +1,212 @@
+//! Phase geometry of the ranking protocols.
+//!
+//! Section IV of the paper defines the sequence `f_1 = n`,
+//! `f_i = ⌈f_{i-1}/2⌉`, and performs the ranking in `⌈log₂ n⌉` phases: in
+//! phase `k` the ranks `f_{k+1}+1, …, f_k` are assigned, while the unaware
+//! leader's own rank stays in `1 ..= f_k − f_{k+1}` — small enough that it
+//! is the only ranked agent in that window, which is how it recognizes
+//! itself when meeting an unranked agent.
+//!
+//! [`FSeq`] precomputes the sequence and exposes the derived quantities the
+//! protocols need, with the invariants pinned by tests:
+//!
+//! * `f_k = ⌈n / 2^{k-1}⌉`,
+//! * `f_{k_max} = 2` and `f_{k_max + 1} = 1` for `n ≥ 2`,
+//! * the phase windows `[f_{k+1}+1, f_k]` partition `2 ..= n`.
+
+/// Precomputed `f`-sequence for a population of size `n`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FSeq {
+    /// `f[k-1] = f_k`; the vector ends with the first entry equal to 1,
+    /// i.e. `f[kmax] = f_{kmax+1} = 1`.
+    f: Vec<u64>,
+}
+
+impl FSeq {
+    /// Build the sequence for population size `n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 2` (the paper's model needs two agents to interact).
+    pub fn new(n: u64) -> Self {
+        assert!(n >= 2, "population must have at least two agents");
+        let mut f = vec![n];
+        while *f.last().expect("nonempty") > 1 {
+            f.push(f.last().expect("nonempty").div_ceil(2));
+        }
+        Self { f }
+    }
+
+    /// Population size `n = f_1`.
+    pub fn n(&self) -> u64 {
+        self.f[0]
+    }
+
+    /// Number of phases, `k_max = ⌈log₂ n⌉`.
+    pub fn kmax(&self) -> u32 {
+        (self.f.len() - 1) as u32
+    }
+
+    /// `f_k` for `1 ≤ k ≤ k_max + 1` (with `f_{k_max+1} = 1`).
+    ///
+    /// # Panics
+    ///
+    /// Panics for `k = 0` or `k > k_max + 1`.
+    pub fn f(&self, k: u32) -> u64 {
+        assert!(k >= 1, "f is 1-indexed");
+        self.f[(k - 1) as usize]
+    }
+
+    /// Inclusive range of ranks assigned in phase `k`:
+    /// `f_{k+1}+1 ..= f_k`.
+    pub fn phase_ranks(&self, k: u32) -> std::ops::RangeInclusive<u64> {
+        self.f(k + 1) + 1..=self.f(k)
+    }
+
+    /// `f_k − f_{k+1}`: the number of ranks assigned in phase `k`, which is
+    /// also the upper end of the window `1 ..= f_k − f_{k+1}` in which the
+    /// unaware leader's own rank moves during phase `k`.
+    pub fn leader_window(&self, k: u32) -> u64 {
+        self.f(k) - self.f(k + 1)
+    }
+
+    /// The liveness-check threshold of Protocol 4 line 13:
+    /// `⌊n · 2^{−k}⌋`. Note this may differ from
+    /// [`leader_window`](Self::leader_window) by one when `n` is not a
+    /// power of two; the protocol uses both, each where the paper says so.
+    pub fn productive_threshold(&self, k: u32) -> u64 {
+        let shift = k.min(63);
+        self.n() >> shift
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn powers_of_two_halve_exactly() {
+        let fs = FSeq::new(256);
+        assert_eq!(fs.kmax(), 8);
+        for k in 1..=8 {
+            assert_eq!(fs.f(k), 256 >> (k - 1));
+        }
+        assert_eq!(fs.f(9), 1);
+    }
+
+    #[test]
+    fn small_odd_example_from_hand() {
+        // n = 5: f = [5, 3, 2, 1]; kmax = 3 = ⌈log₂ 5⌉.
+        let fs = FSeq::new(5);
+        assert_eq!(fs.kmax(), 3);
+        assert_eq!(fs.f(1), 5);
+        assert_eq!(fs.f(2), 3);
+        assert_eq!(fs.f(3), 2);
+        assert_eq!(fs.f(4), 1);
+        assert_eq!(fs.phase_ranks(1), 4..=5);
+        assert_eq!(fs.phase_ranks(2), 3..=3);
+        assert_eq!(fs.phase_ranks(3), 2..=2);
+    }
+
+    #[test]
+    fn n_equals_two_has_single_phase() {
+        let fs = FSeq::new(2);
+        assert_eq!(fs.kmax(), 1);
+        assert_eq!(fs.phase_ranks(1), 2..=2);
+        assert_eq!(fs.leader_window(1), 1);
+    }
+
+    #[test]
+    fn productive_threshold_matches_paper_formula() {
+        let fs = FSeq::new(256);
+        assert_eq!(fs.productive_threshold(1), 128);
+        assert_eq!(fs.productive_threshold(8), 1);
+        let odd = FSeq::new(7);
+        // ⌊7/4⌋ = 1 while f_2 − f_3 = 4 − 2 = 2: the documented mismatch.
+        assert_eq!(odd.productive_threshold(2), 1);
+        assert_eq!(odd.leader_window(2), 2);
+    }
+
+    proptest! {
+        #[test]
+        fn closed_form_matches_recurrence(n in 2u64..100_000) {
+            let fs = FSeq::new(n);
+            for k in 1..=fs.kmax() {
+                let pow = 1u64 << (k - 1).min(63);
+                prop_assert_eq!(fs.f(k), n.div_ceil(pow));
+            }
+        }
+
+        #[test]
+        fn kmax_is_ceil_log2(n in 2u64..100_000) {
+            let fs = FSeq::new(n);
+            let expected = 64 - (n - 1).leading_zeros();
+            prop_assert_eq!(fs.kmax(), expected);
+        }
+
+        #[test]
+        fn phase_windows_partition_two_to_n(n in 2u64..5_000) {
+            let fs = FSeq::new(n);
+            let mut covered = vec![false; n as usize + 1];
+            for k in 1..=fs.kmax() {
+                for r in fs.phase_ranks(k) {
+                    prop_assert!(r >= 2 && r <= n, "rank {} out of range", r);
+                    prop_assert!(!covered[r as usize], "rank {} assigned twice", r);
+                    covered[r as usize] = true;
+                }
+            }
+            prop_assert!(covered[2..=n as usize].iter().all(|&c| c),
+                "not all ranks covered");
+        }
+
+        #[test]
+        fn sequence_is_strictly_decreasing(n in 2u64..100_000) {
+            let fs = FSeq::new(n);
+            for k in 1..=fs.kmax() {
+                prop_assert!(fs.f(k) > fs.f(k + 1));
+            }
+        }
+
+        #[test]
+        fn leader_window_is_positive_and_window_sums_to_n_minus_1(n in 2u64..50_000) {
+            let fs = FSeq::new(n);
+            let mut total = 0;
+            for k in 1..=fs.kmax() {
+                prop_assert!(fs.leader_window(k) >= 1);
+                total += fs.leader_window(k);
+            }
+            prop_assert_eq!(total, n - 1);
+        }
+
+        #[test]
+        fn final_phase_assigns_rank_two(n in 2u64..100_000) {
+            let fs = FSeq::new(n);
+            prop_assert_eq!(fs.f(fs.kmax()), 2);
+            prop_assert_eq!(fs.f(fs.kmax() + 1), 1);
+        }
+
+        #[test]
+        fn productive_threshold_within_one_of_leader_window(n in 2u64..50_000) {
+            // Documented deviation #3: the two thresholds agree on powers
+            // of two and differ by at most... in general ⌊n·2^{-k}⌋ can be
+            // below f_k − f_{k+1}; check it never *exceeds* it by more
+            // than 0 and never undershoots by more than 1 for k = 1.
+            let fs = FSeq::new(n);
+            prop_assert!(fs.productive_threshold(1) <= fs.leader_window(1));
+            prop_assert!(fs.productive_threshold(1) + 1 >= fs.leader_window(1));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two agents")]
+    fn rejects_n_below_two() {
+        let _ = FSeq::new(1);
+    }
+
+    #[test]
+    #[should_panic(expected = "1-indexed")]
+    fn rejects_k_zero() {
+        let _ = FSeq::new(8).f(0);
+    }
+}

@@ -1,0 +1,55 @@
+//! The paper's contribution: silent ranking protocols for population
+//! protocols, reproduced from *Silent Self-Stabilizing Ranking: Time
+//! Optimal and Space Efficient* (Berenbrink, Elsässer, Götte, Hintze,
+//! Kaaser; ICDCS 2025).
+//!
+//! # Protocols
+//!
+//! * [`space_efficient::SpaceEfficientRanking`] — Protocol 1 (Theorem 1):
+//!   non-self-stabilizing silent ranking. A leader elected by a black-box
+//!   leader election assigns ranks in `⌈log₂ n⌉` geometric phases,
+//!   storing nothing but a small rank — it is an *unaware* leader that
+//!   recognizes its role only when meeting an unranked agent.
+//! * [`stable::StableRanking`] — Protocols 3+4+5 (Theorem 2): the
+//!   self-stabilizing version with `n + O(log² n)` states, combining the
+//!   base protocol with error detection (duplicate ranks, duplicate
+//!   waiting agents, liveness expiry), a synthetic coin, the
+//!   `FastLeaderElection` lottery, and the `PropagateReset` recovery
+//!   protocol.
+//!
+//! # Supporting modules
+//!
+//! * [`fseq`] — the phase geometry `f₁ = n`, `f_i = ⌈f_{i−1}/2⌉`.
+//! * [`base`] — Protocol 2 (`RANKING`) as a pure state machine shared by
+//!   both protocols.
+//! * [`params`] — every tunable constant, with the paper's simulation
+//!   defaults (`c_wait = 2`, `c_live = 4`).
+//! * [`audit`] — analytic and observed state-space accounting backing the
+//!   space claims.
+//!
+//! # Example: self-stabilizing ranking from garbage
+//!
+//! ```
+//! use population::{is_valid_ranking, Simulator};
+//! use ranking::stable::StableRanking;
+//! use ranking::Params;
+//!
+//! let protocol = StableRanking::new(Params::new(32));
+//! let garbage = protocol.adversarial_uniform(7);
+//! let mut sim = Simulator::new(protocol, garbage, 42);
+//! let stop = sim.run_until(|s| is_valid_ranking(s), 50_000_000, 32);
+//! assert!(stop.converged_at().is_some());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod audit;
+pub mod base;
+pub mod fseq;
+pub mod params;
+pub mod space_efficient;
+pub mod stable;
+
+pub use fseq::FSeq;
+pub use params::Params;

@@ -1,0 +1,163 @@
+//! Protocol parameters.
+//!
+//! Every constant the paper leaves symbolic (`c_wait`, `c_live`, `R_max`,
+//! `D_max`, `L_max`) is a field here, with defaults matching the paper's
+//! own simulation (Section VI: `c_wait = 2`, `c_live = D_max/log₂ n = 4`).
+//! The ablation experiment (E12) sweeps these.
+
+use crate::fseq::FSeq;
+
+/// All tunables for the ranking protocols, derived from `n`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Params {
+    n: usize,
+    /// `c_wait`: waiting-counter constant (paper simulation: 2).
+    pub c_wait: f64,
+    /// `c_live`: liveness/lottery budget constant (paper simulation: 4).
+    pub c_live: f64,
+    /// Reset-counter constant: `R_max = ⌈c_reset · log₂ n⌉`.
+    pub c_reset: f64,
+    /// Dormancy constant: `D_max = ⌈c_delay · log₂ n⌉`.
+    pub c_delay: f64,
+}
+
+impl Params {
+    /// Paper-default parameters for population size `n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 2`.
+    pub fn new(n: usize) -> Self {
+        assert!(n >= 2, "population must have at least two agents");
+        Self {
+            n,
+            c_wait: 2.0,
+            c_live: 4.0,
+            c_reset: 2.0,
+            c_delay: 4.0,
+        }
+    }
+
+    /// Builder-style override of `c_wait`.
+    pub fn with_c_wait(mut self, c_wait: f64) -> Self {
+        assert!(c_wait.is_finite() && c_wait > 0.0, "c_wait must be positive");
+        self.c_wait = c_wait;
+        self
+    }
+
+    /// Builder-style override of `c_live`.
+    pub fn with_c_live(mut self, c_live: f64) -> Self {
+        assert!(c_live.is_finite() && c_live > 0.0, "c_live must be positive");
+        self.c_live = c_live;
+        self
+    }
+
+    /// Builder-style override of `c_reset`.
+    pub fn with_c_reset(mut self, c_reset: f64) -> Self {
+        assert!(
+            c_reset.is_finite() && c_reset > 0.0,
+            "c_reset must be positive"
+        );
+        self.c_reset = c_reset;
+        self
+    }
+
+    /// Builder-style override of `c_delay`.
+    pub fn with_c_delay(mut self, c_delay: f64) -> Self {
+        assert!(
+            c_delay.is_finite() && c_delay > 0.0,
+            "c_delay must be positive"
+        );
+        self.c_delay = c_delay;
+        self
+    }
+
+    /// Population size `n`.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// `log₂ n` (not rounded).
+    pub fn log2n(&self) -> f64 {
+        (self.n as f64).log2()
+    }
+
+    /// `⌈c_wait · log₂ n⌉`: initial value of `waitCount`.
+    pub fn wait_max(&self) -> u32 {
+        ((self.c_wait * self.log2n()).ceil() as u32).max(1)
+    }
+
+    /// `L_max = ⌈c_live · log₂ n⌉`: liveness counter ceiling and
+    /// `FastLeaderElection` budget.
+    pub fn l_max(&self) -> u32 {
+        ((self.c_live * self.log2n()).ceil() as u32).max(2)
+    }
+
+    /// `R_max = ⌈c_reset · log₂ n⌉`: reset-propagation counter ceiling.
+    pub fn r_max(&self) -> u32 {
+        ((self.c_reset * self.log2n()).ceil() as u32).max(1)
+    }
+
+    /// `D_max = ⌈c_delay · log₂ n⌉`: dormancy counter ceiling.
+    pub fn d_max(&self) -> u32 {
+        ((self.c_delay * self.log2n()).ceil() as u32).max(1)
+    }
+
+    /// `⌈log₂ n⌉`: heads needed by the `FastLeaderElection` lottery and
+    /// the number of ranking phases.
+    pub fn coin_target(&self) -> u32 {
+        (self.log2n().ceil() as u32).max(1)
+    }
+
+    /// The phase geometry for this population size.
+    pub fn fseq(&self) -> FSeq {
+        FSeq::new(self.n as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_defaults_for_256() {
+        // Section VI: c_wait = 2, c_live = D_max/log₂ n = 4; for n = 256
+        // (log₂ = 8): waitMax = 16, L_max = D_max = 32.
+        let p = Params::new(256);
+        assert_eq!(p.wait_max(), 16);
+        assert_eq!(p.l_max(), 32);
+        assert_eq!(p.d_max(), 32);
+        assert_eq!(p.r_max(), 16);
+        assert_eq!(p.coin_target(), 8);
+    }
+
+    #[test]
+    fn builders_override_constants() {
+        let p = Params::new(256).with_c_wait(0.5).with_c_live(1.0);
+        assert_eq!(p.wait_max(), 4);
+        assert_eq!(p.l_max(), 8);
+    }
+
+    #[test]
+    fn counters_are_positive_even_for_tiny_n() {
+        let p = Params::new(2);
+        assert!(p.wait_max() >= 1);
+        assert!(p.l_max() >= 2);
+        assert!(p.r_max() >= 1);
+        assert!(p.d_max() >= 1);
+        assert!(p.coin_target() >= 1);
+    }
+
+    #[test]
+    fn non_power_of_two_rounds_up() {
+        let p = Params::new(1000); // log₂ ≈ 9.97
+        assert_eq!(p.coin_target(), 10);
+        assert_eq!(p.wait_max(), 20);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn rejects_nonpositive_constant() {
+        let _ = Params::new(8).with_c_wait(0.0);
+    }
+}

@@ -1,0 +1,142 @@
+//! Human-readable rendering of `STABLERANKING` states, for traces,
+//! examples and failing-test output.
+//!
+//! The notation follows the paper: `rank=r` for ranked agents; unranked
+//! agents show their coin (`H`/`T`) and role — `reset(rc,dc)`,
+//! `elect(LECount, coinCount, done?, leader?)`, `wait(w)|alive=a`,
+//! `phase(k)|alive=a`.
+
+use std::fmt;
+
+use crate::stable::state::{MainKind, StableState, UnRole, UnState};
+
+impl fmt::Display for StableState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StableState::Ranked(r) => write!(f, "rank={r}"),
+            StableState::Un(UnState { coin, role }) => {
+                let c = if *coin { 'H' } else { 'T' };
+                match role {
+                    UnRole::Reset {
+                        reset_count,
+                        delay_count,
+                    } => write!(f, "{c}|reset({reset_count},{delay_count})"),
+                    UnRole::Elect(le) => {
+                        write!(
+                            f,
+                            "{c}|elect({},{}{}{})",
+                            le.le_count,
+                            le.coin_count,
+                            if le.leader_done { ",done" } else { "" },
+                            if le.is_leader { ",leader" } else { "" }
+                        )
+                    }
+                    UnRole::Main { alive, kind } => match kind {
+                        MainKind::Waiting(w) => write!(f, "{c}|wait({w})|alive={alive}"),
+                        MainKind::Phase(k) => write!(f, "{c}|phase({k})|alive={alive}"),
+                    },
+                }
+            }
+        }
+    }
+}
+
+/// Render a whole configuration compactly (agents separated by spaces).
+pub fn configuration(states: &[StableState]) -> String {
+    states
+        .iter()
+        .map(|s| format!("[{s}]"))
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use leader_election::fast::FastLeState;
+
+    #[test]
+    fn ranked_renders_rank() {
+        assert_eq!(StableState::Ranked(7).to_string(), "rank=7");
+    }
+
+    #[test]
+    fn resetting_renders_counters_and_coin() {
+        let s = StableState::Un(UnState {
+            coin: true,
+            role: UnRole::Reset {
+                reset_count: 3,
+                delay_count: 9,
+            },
+        });
+        assert_eq!(s.to_string(), "H|reset(3,9)");
+    }
+
+    #[test]
+    fn electing_renders_flags_only_when_set() {
+        let s = StableState::Un(UnState {
+            coin: false,
+            role: UnRole::Elect(FastLeState {
+                le_count: 12,
+                coin_count: 2,
+                leader_done: false,
+                is_leader: false,
+            }),
+        });
+        assert_eq!(s.to_string(), "T|elect(12,2)");
+        let done = StableState::Un(UnState {
+            coin: false,
+            role: UnRole::Elect(FastLeState {
+                le_count: 12,
+                coin_count: 0,
+                leader_done: true,
+                is_leader: true,
+            }),
+        });
+        assert_eq!(done.to_string(), "T|elect(12,0,done,leader)");
+    }
+
+    #[test]
+    fn main_roles_render_kind_and_liveness() {
+        let w = StableState::Un(UnState {
+            coin: true,
+            role: UnRole::Main {
+                alive: 5,
+                kind: MainKind::Waiting(2),
+            },
+        });
+        assert_eq!(w.to_string(), "H|wait(2)|alive=5");
+        let p = StableState::Un(UnState {
+            coin: false,
+            role: UnRole::Main {
+                alive: 8,
+                kind: MainKind::Phase(3),
+            },
+        });
+        assert_eq!(p.to_string(), "T|phase(3)|alive=8");
+    }
+
+    #[test]
+    fn configuration_renders_all_agents() {
+        let cfg = vec![StableState::Ranked(1), StableState::Ranked(2)];
+        assert_eq!(configuration(&cfg), "[rank=1] [rank=2]");
+    }
+
+    #[test]
+    fn display_is_never_empty() {
+        // C-DEBUG-NONEMPTY, applied to Display.
+        let states = [
+            StableState::Ranked(1),
+            StableState::Un(UnState {
+                coin: false,
+                role: UnRole::Reset {
+                    reset_count: 0,
+                    delay_count: 0,
+                },
+            }),
+        ];
+        for s in &states {
+            assert!(!s.to_string().is_empty());
+        }
+    }
+}

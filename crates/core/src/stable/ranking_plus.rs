@@ -1,0 +1,446 @@
+//! `Ranking⁺` (Protocol 4): the base RANKING protocol hardened with error
+//! detection, liveness checking, and the synthetic coin.
+//!
+//! Executed when both agents are in main states (ranked, waiting, or
+//! phase). Three error classes trigger a reset:
+//!
+//! 1. two agents with the same rank meet (line 1),
+//! 2. two waiting agents meet (line 2),
+//! 3. an `aliveCount` reaches zero (lines 9–11) — no progress possible.
+//!
+//! The liveness counter is propagated max-minus-one between unranked
+//! agents (lines 5–6), decremented when meeting a rank-`n−1`/`n` agent
+//! (lines 7–8, covering the one-unranked-agent case), and refreshed to
+//! `L_max` by *productive pairs* observed with `coin(v) = 0` (lines
+//! 12–14). The base protocol runs only when `coin(v) = 1` (lines 15–18).
+
+use population::RankOutput;
+
+use crate::base::{ranking_step, RankRole};
+use crate::fseq::FSeq;
+use crate::stable::reset::trigger_reset;
+use crate::stable::state::{MainKind, StableState, UnRole, UnState};
+
+/// Immutable context for a `Ranking⁺` step.
+#[derive(Debug, Clone, Copy)]
+pub struct RpCtx<'a> {
+    /// Phase geometry.
+    pub fseq: &'a FSeq,
+    /// `⌈c_wait log n⌉`.
+    pub wait_max: u32,
+    /// `L_max = ⌈c_live log n⌉`.
+    pub l_max: u32,
+    /// `R_max` for triggered resets.
+    pub r_max: u32,
+    /// `D_max` for triggered resets.
+    pub d_max: u32,
+}
+
+/// Outcome of a `Ranking⁺` step (used by experiments to count resets).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RpOutcome {
+    /// A reset was triggered during this interaction.
+    pub reset_triggered: bool,
+}
+
+fn alive_mut(s: &mut StableState) -> Option<&mut u32> {
+    match s {
+        StableState::Un(UnState {
+            role: UnRole::Main { alive, .. },
+            ..
+        }) => Some(alive),
+        _ => None,
+    }
+}
+
+fn as_role(s: &StableState) -> RankRole {
+    match s {
+        StableState::Ranked(r) => RankRole::Ranked(*r),
+        StableState::Un(UnState {
+            role: UnRole::Main { kind, .. },
+            ..
+        }) => match kind {
+            MainKind::Waiting(w) => RankRole::Waiting(*w),
+            MainKind::Phase(k) => RankRole::Phase(*k),
+        },
+        _ => unreachable!("Ranking⁺ requires main states"),
+    }
+}
+
+/// Write a possibly-changed [`RankRole`] back into the full state,
+/// handling the representation changes:
+///
+/// * unranked → ranked drops coin and liveness counter (the paper's space
+///   constraint);
+/// * ranked → waiting is Protocol 4 lines 17–18: the new waiting agent
+///   gets `(coin, aliveCount) = (0, L_max)`.
+fn write_back(l_max: u32, old: &StableState, new_role: RankRole) -> StableState {
+    match (old, new_role) {
+        (_, RankRole::Ranked(r)) => StableState::Ranked(r),
+        (StableState::Ranked(_), RankRole::Waiting(w)) => StableState::Un(UnState {
+            coin: false,
+            role: UnRole::Main {
+                alive: l_max,
+                kind: MainKind::Waiting(w),
+            },
+        }),
+        (StableState::Un(un), RankRole::Waiting(w)) => StableState::Un(UnState {
+            coin: un.coin,
+            role: UnRole::Main {
+                alive: alive_of(un),
+                kind: MainKind::Waiting(w),
+            },
+        }),
+        (StableState::Un(un), RankRole::Phase(k)) => StableState::Un(UnState {
+            coin: un.coin,
+            role: UnRole::Main {
+                alive: alive_of(un),
+                kind: MainKind::Phase(k),
+            },
+        }),
+        (StableState::Ranked(_), RankRole::Phase(_)) => {
+            unreachable!("base ranking never turns a ranked agent into a phase agent")
+        }
+    }
+}
+
+fn alive_of(un: &UnState) -> u32 {
+    match un.role {
+        UnRole::Main { alive, .. } => alive,
+        _ => unreachable!("main state expected"),
+    }
+}
+
+/// One `Ranking⁺` interaction between main-state agents `u` and `v`.
+///
+/// # Panics
+///
+/// Panics (in debug builds) if either agent is not in a main state; the
+/// `STABLERANKING` dispatcher guarantees this.
+pub fn ranking_plus_step(ctx: &RpCtx<'_>, u: &mut StableState, v: &mut StableState) -> RpOutcome {
+    debug_assert!(u.is_main() && v.is_main(), "Ranking⁺ requires main states");
+    let mut out = RpOutcome::default();
+
+    // Lines 1–4: directly detectable errors — duplicate rank or two
+    // waiting agents; trigger a reset on u and do nothing else.
+    let duplicate_rank = matches!((u.rank(), v.rank()), (Some(a), Some(b)) if a == b);
+    if duplicate_rank || (u.is_waiting() && v.is_waiting()) {
+        trigger_reset(ctx.r_max, ctx.d_max, u);
+        out.reset_triggered = true;
+        return out;
+    }
+
+    // Lines 5–6: both liveness-checking (unranked) agents adopt
+    // max − 1.
+    if let (Some(&au), Some(&av)) = (alive_mut(u).map(|a| &*a), alive_mut(v).map(|a| &*a)) {
+        let m = au.max(av).saturating_sub(1);
+        *alive_mut(u).expect("checked") = m;
+        *alive_mut(v).expect("checked") = m;
+    }
+
+    // Lines 7–8: meeting an agent ranked n−1 or n decrements the
+    // responder's counter (this covers the case of a single unranked
+    // agent, which otherwise would never decrement).
+    let n = ctx.fseq.n();
+    if matches!(u.rank(), Some(r) if r == n || r == n - 1) {
+        if let Some(alive) = alive_mut(v) {
+            *alive = alive.saturating_sub(1);
+        }
+    }
+
+    // Lines 9–11: liveness expired — reset.
+    if v.alive() == Some(0) {
+        trigger_reset(ctx.r_max, ctx.d_max, u);
+        out.reset_triggered = true;
+        return out;
+    }
+
+    match v.coin() {
+        // Lines 12–14: coin 0 — a productive pair refreshes the
+        // responder's liveness counter instead of making progress.
+        Some(false) => {
+            let productive = u.is_waiting()
+                || matches!(
+                    (u.rank(), v.phase()),
+                    (Some(r), Some(k)) if r <= ctx.fseq.productive_threshold(k)
+                );
+            if productive {
+                *alive_mut(v).expect("phase/waiting agents carry aliveCount") = ctx.l_max;
+            }
+        }
+        // Lines 15–18: coin 1 — execute the base protocol; a ranked
+        // initiator that became waiting gets (coin, aliveCount) =
+        // (0, L_max) via `write_back`.
+        Some(true) => {
+            let mut ru = as_role(u);
+            let mut rv = as_role(v);
+            let step = ranking_step(ctx.fseq, ctx.wait_max, &mut ru, &mut rv);
+            if step.changed {
+                *u = write_back(ctx.l_max, u, ru);
+                *v = write_back(ctx.l_max, v, rv);
+            }
+        }
+        // v is ranked: neither branch of lines 12–18 applies.
+        None => {}
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::Params;
+
+    fn ctx(fseq: &FSeq) -> RpCtx<'_> {
+        let p = Params::new(fseq.n() as usize);
+        RpCtx {
+            fseq,
+            wait_max: p.wait_max(),
+            l_max: p.l_max(),
+            r_max: p.r_max(),
+            d_max: p.d_max(),
+        }
+    }
+
+    fn phase(coin: bool, alive: u32, k: u32) -> StableState {
+        StableState::Un(UnState {
+            coin,
+            role: UnRole::Main {
+                alive,
+                kind: MainKind::Phase(k),
+            },
+        })
+    }
+
+    fn waiting(coin: bool, alive: u32, w: u32) -> StableState {
+        StableState::Un(UnState {
+            coin,
+            role: UnRole::Main {
+                alive,
+                kind: MainKind::Waiting(w),
+            },
+        })
+    }
+
+    #[test]
+    fn duplicate_ranks_trigger_reset_on_initiator() {
+        let fs = FSeq::new(16);
+        let c = ctx(&fs);
+        let mut u = StableState::Ranked(5);
+        let mut v = StableState::Ranked(5);
+        let out = ranking_plus_step(&c, &mut u, &mut v);
+        assert!(out.reset_triggered);
+        assert!(u.is_resetting(), "u is the triggered agent (paper line 3)");
+        assert_eq!(v, StableState::Ranked(5), "v untouched in this step");
+    }
+
+    #[test]
+    fn distinct_ranks_are_silent() {
+        let fs = FSeq::new(16);
+        let c = ctx(&fs);
+        let mut u = StableState::Ranked(5);
+        let mut v = StableState::Ranked(6);
+        let out = ranking_plus_step(&c, &mut u, &mut v);
+        assert!(!out.reset_triggered);
+        assert_eq!(u, StableState::Ranked(5));
+        assert_eq!(v, StableState::Ranked(6));
+    }
+
+    #[test]
+    fn two_waiting_agents_trigger_reset() {
+        let fs = FSeq::new(16);
+        let c = ctx(&fs);
+        let mut u = waiting(false, 4, 2);
+        let mut v = waiting(true, 4, 3);
+        let out = ranking_plus_step(&c, &mut u, &mut v);
+        assert!(out.reset_triggered);
+        assert!(u.is_resetting());
+        assert!(v.is_waiting());
+    }
+
+    #[test]
+    fn liveness_counters_adopt_max_minus_one() {
+        let fs = FSeq::new(16);
+        let c = ctx(&fs);
+        let mut u = phase(false, 3, 1);
+        let mut v = phase(false, 9, 1);
+        ranking_plus_step(&c, &mut u, &mut v);
+        assert_eq!(u.alive(), Some(8));
+        assert_eq!(v.alive(), Some(8));
+    }
+
+    #[test]
+    fn high_rank_initiator_decrements_responder_liveness() {
+        let fs = FSeq::new(16);
+        let c = ctx(&fs);
+        for r in [15, 16] {
+            let mut u = StableState::Ranked(r);
+            let mut v = phase(true, 5, 4);
+            ranking_plus_step(&c, &mut u, &mut v);
+            assert_eq!(v.alive(), Some(4), "rank {r} must decrement");
+        }
+        // Other ranks don't.
+        let mut u = StableState::Ranked(14);
+        let mut v = phase(true, 5, 4);
+        ranking_plus_step(&c, &mut u, &mut v);
+        assert_eq!(v.alive(), Some(5));
+    }
+
+    #[test]
+    fn liveness_expiry_triggers_reset() {
+        let fs = FSeq::new(16);
+        let c = ctx(&fs);
+        let mut u = StableState::Ranked(16);
+        let mut v = phase(true, 1, 4);
+        let out = ranking_plus_step(&c, &mut u, &mut v);
+        assert!(out.reset_triggered);
+        assert!(u.is_resetting(), "paper line 10 triggers the reset on u");
+        assert_eq!(v.alive(), Some(0));
+    }
+
+    #[test]
+    fn coin_zero_refreshes_liveness_of_productive_responder() {
+        let fs = FSeq::new(16);
+        let c = ctx(&fs);
+        // Unaware leader (rank 1 ≤ ⌊16·2⁻¹⌋ = 8) meets a phase-1 agent
+        // showing tails: no rank assigned, liveness refreshed to L_max.
+        let mut u = StableState::Ranked(1);
+        let mut v = phase(false, 2, 1);
+        ranking_plus_step(&c, &mut u, &mut v);
+        assert_eq!(v.alive(), Some(c.l_max));
+        assert_eq!(v.phase(), Some(1), "no rank was assigned on tails");
+        assert_eq!(u, StableState::Ranked(1));
+    }
+
+    #[test]
+    fn coin_zero_waiting_initiator_also_refreshes() {
+        let fs = FSeq::new(16);
+        let c = ctx(&fs);
+        let mut u = waiting(true, 7, 3);
+        let mut v = phase(false, 2, 1);
+        ranking_plus_step(&c, &mut u, &mut v);
+        assert_eq!(v.alive(), Some(c.l_max));
+        // Base protocol did NOT run: waitCount untouched on tails.
+        assert!(matches!(
+            u,
+            StableState::Un(UnState {
+                role: UnRole::Main {
+                    kind: MainKind::Waiting(3),
+                    ..
+                },
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn coin_zero_unproductive_pair_changes_nothing_but_counters() {
+        let fs = FSeq::new(16);
+        let c = ctx(&fs);
+        // rank 9 > threshold 8: not the unaware leader — no refresh.
+        let mut u = StableState::Ranked(9);
+        let mut v = phase(false, 5, 1);
+        ranking_plus_step(&c, &mut u, &mut v);
+        assert_eq!(v.alive(), Some(5));
+    }
+
+    #[test]
+    fn coin_one_runs_base_protocol_and_assigns_rank() {
+        let fs = FSeq::new(16);
+        let c = ctx(&fs);
+        let mut u = StableState::Ranked(1);
+        let mut v = phase(true, 5, 1);
+        ranking_plus_step(&c, &mut u, &mut v);
+        // f_2 + 1 = 9 for n = 16.
+        assert_eq!(v, StableState::Ranked(9), "rank drops coin and liveness");
+        assert_eq!(u, StableState::Ranked(2));
+    }
+
+    #[test]
+    fn initiator_becoming_waiting_gets_coin_zero_and_fresh_liveness() {
+        let fs = FSeq::new(16);
+        let c = ctx(&fs);
+        // Leader at the end of phase 1's window (f1 − f2 = 8) assigns the
+        // last rank and becomes waiting with (coin, alive) = (0, L_max).
+        let mut u = StableState::Ranked(8);
+        let mut v = phase(true, 5, 1);
+        ranking_plus_step(&c, &mut u, &mut v);
+        assert_eq!(v, StableState::Ranked(16));
+        match u {
+            StableState::Un(UnState {
+                coin,
+                role: UnRole::Main { alive, kind },
+            }) => {
+                assert!(!coin, "Protocol 4 line 18: coin = 0");
+                assert_eq!(alive, c.l_max);
+                assert_eq!(kind, MainKind::Waiting(c.wait_max));
+            }
+            other => panic!("expected waiting agent, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn waiting_countdown_gated_on_coin() {
+        let fs = FSeq::new(16);
+        let c = ctx(&fs);
+        let mut u = waiting(true, 7, 2);
+        // Tails: refresh only (tested above). Heads: countdown.
+        let mut v = phase(true, 6, 1);
+        ranking_plus_step(&c, &mut u, &mut v);
+        assert!(matches!(
+            u,
+            StableState::Un(UnState {
+                role: UnRole::Main {
+                    kind: MainKind::Waiting(1),
+                    ..
+                },
+                ..
+            })
+        ));
+        // Final tick: reborn as the rank-1 unaware leader, dropping coin
+        // and liveness.
+        let mut v2 = phase(true, 6, 1);
+        ranking_plus_step(&c, &mut u, &mut v2);
+        assert_eq!(u, StableState::Ranked(1));
+    }
+
+    #[test]
+    fn ranked_responder_is_inert() {
+        let fs = FSeq::new(16);
+        let c = ctx(&fs);
+        let mut u = phase(true, 5, 2);
+        let mut v = StableState::Ranked(3);
+        let out = ranking_plus_step(&c, &mut u, &mut v);
+        assert!(!out.reset_triggered);
+        assert_eq!(u, phase(true, 5, 2));
+        assert_eq!(v, StableState::Ranked(3));
+    }
+
+    #[test]
+    fn phase_propagation_happens_on_heads_only() {
+        let fs = FSeq::new(16);
+        let c = ctx(&fs);
+        let mut u = phase(false, 8, 3);
+        let mut v = phase(true, 8, 1);
+        ranking_plus_step(&c, &mut u, &mut v);
+        assert_eq!(u.phase(), Some(3));
+        assert_eq!(v.phase(), Some(3), "heads responder adopts max phase");
+
+        let mut u2 = phase(false, 8, 3);
+        let mut v2 = phase(false, 8, 1);
+        ranking_plus_step(&c, &mut u2, &mut v2);
+        assert_eq!(v2.phase(), Some(1), "tails responder does not");
+    }
+
+    #[test]
+    fn both_counters_hitting_zero_still_resets() {
+        let fs = FSeq::new(16);
+        let c = ctx(&fs);
+        let mut u = phase(true, 1, 1);
+        let mut v = phase(true, 1, 1);
+        // max(1,1) − 1 = 0 for both → line 9 catches v at zero.
+        let out = ranking_plus_step(&c, &mut u, &mut v);
+        assert!(out.reset_triggered);
+        assert!(u.is_resetting());
+    }
+}

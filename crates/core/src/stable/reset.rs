@@ -1,0 +1,341 @@
+//! `PROPAGATERESET` (Section V-A, after Burman et al.).
+//!
+//! When an agent detects an error it becomes *triggered*: `resetCount` is
+//! set to `R_max` and every other variable except the coin is forgotten.
+//! Triggered (propagating) agents spread the reset as a one-way epidemic
+//! with a TTL (`resetCount`); infected agents become *dormant* for
+//! `D_max` interactions, long enough for the epidemic to die out and for
+//! the synthetic coins to mix, and then re-enter `FASTLEADERELECTION`
+//! afresh.
+//!
+//! Rules implemented verbatim from the paper:
+//!
+//! * propagating × computing — propagator decrements `resetCount`; the
+//!   computing agent becomes propagating with
+//!   `(resetCount, delayCount) = (resetCount(propagator), D_max)`;
+//! * propagating × propagating — both adopt `max − 1` (unless both are 0,
+//!   in which case they are dormant, not propagating);
+//! * propagating × dormant — propagator decrements `resetCount`, dormant
+//!   decrements `delayCount`;
+//! * dormant × anything — the dormant agent decrements `delayCount`;
+//! * `delayCount = 0` — forget the reset state and start leader election,
+//!   keeping the coin.
+
+use leader_election::fast::FastLe;
+
+use crate::stable::state::{StableState, UnRole, UnState};
+
+/// Classification of an agent for the reset rules.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ResetClass {
+    Propagating,
+    Dormant,
+    Computing,
+}
+
+fn classify(s: &StableState) -> ResetClass {
+    match s {
+        StableState::Un(UnState {
+            role: UnRole::Reset { reset_count, .. },
+            ..
+        }) => {
+            if *reset_count > 0 {
+                ResetClass::Propagating
+            } else {
+                ResetClass::Dormant
+            }
+        }
+        _ => ResetClass::Computing,
+    }
+}
+
+/// Turn `x` into a triggered agent (`TRIGGERRESET`): `resetCount = R_max`,
+/// `delayCount = D_max`, every other variable forgotten; the coin is
+/// preserved if present, otherwise initialized to 0 (ranked agents have no
+/// coin).
+pub fn trigger_reset(r_max: u32, d_max: u32, x: &mut StableState) {
+    let coin = x.coin().unwrap_or(false);
+    *x = StableState::Un(UnState {
+        coin,
+        role: UnRole::Reset {
+            reset_count: r_max,
+            delay_count: d_max,
+        },
+    });
+}
+
+/// Does the reset protocol consume this interaction? (Protocol 3 line 1
+/// "if applicable": at least one participant is resetting.)
+pub fn applicable(u: &StableState, v: &StableState) -> bool {
+    u.is_resetting() || v.is_resetting()
+}
+
+/// One `PROPAGATERESET` interaction. Must only be called when
+/// [`applicable`] holds.
+pub fn propagate_step(fast: &FastLe, d_max: u32, u: &mut StableState, v: &mut StableState) {
+    debug_assert!(applicable(u, v), "reset step requires a resetting agent");
+    match (classify(u), classify(v)) {
+        (ResetClass::Propagating, ResetClass::Computing) => infect(d_max, u, v),
+        (ResetClass::Computing, ResetClass::Propagating) => infect(d_max, v, u),
+        (ResetClass::Propagating, ResetClass::Propagating) => {
+            let m = reset_count(u).max(reset_count(v)).saturating_sub(1);
+            set_reset_count(u, m);
+            set_reset_count(v, m);
+        }
+        (ResetClass::Propagating, ResetClass::Dormant) => {
+            set_reset_count(u, reset_count(u) - 1);
+            tick_dormant(fast, v);
+        }
+        (ResetClass::Dormant, ResetClass::Propagating) => {
+            tick_dormant(fast, u);
+            set_reset_count(v, reset_count(v) - 1);
+        }
+        (ResetClass::Dormant, ResetClass::Dormant) => {
+            tick_dormant(fast, u);
+            tick_dormant(fast, v);
+        }
+        (ResetClass::Dormant, ResetClass::Computing) => tick_dormant(fast, u),
+        (ResetClass::Computing, ResetClass::Dormant) => tick_dormant(fast, v),
+        (ResetClass::Computing, ResetClass::Computing) => {
+            unreachable!("propagate_step called without a resetting agent")
+        }
+    }
+}
+
+fn infect(d_max: u32, propagator: &mut StableState, target: &mut StableState) {
+    let rc = reset_count(propagator) - 1;
+    set_reset_count(propagator, rc);
+    let coin = target.coin().unwrap_or(false);
+    *target = StableState::Un(UnState {
+        coin,
+        role: UnRole::Reset {
+            reset_count: rc,
+            delay_count: d_max,
+        },
+    });
+}
+
+fn reset_count(s: &StableState) -> u32 {
+    match s {
+        StableState::Un(UnState {
+            role: UnRole::Reset { reset_count, .. },
+            ..
+        }) => *reset_count,
+        _ => unreachable!("not a resetting agent"),
+    }
+}
+
+fn set_reset_count(s: &mut StableState, value: u32) {
+    if let StableState::Un(UnState {
+        role: UnRole::Reset { reset_count, .. },
+        ..
+    }) = s
+    {
+        *reset_count = value;
+    } else {
+        unreachable!("not a resetting agent");
+    }
+}
+
+/// Decrement a dormant agent's `delayCount`; on reaching zero it wakes up
+/// into the initial `FASTLEADERELECTION` state, keeping its coin
+/// (Section V-A, last paragraph). A corrupted `(0, 0)` state self-heals
+/// the same way.
+fn tick_dormant(fast: &FastLe, s: &mut StableState) {
+    if let StableState::Un(UnState {
+        coin,
+        role:
+            UnRole::Reset {
+                reset_count: 0,
+                delay_count,
+            },
+    }) = s
+    {
+        let next = delay_count.saturating_sub(1);
+        if next == 0 {
+            *s = StableState::Un(UnState {
+                coin: *coin,
+                role: UnRole::Elect(fast.initial_state()),
+            });
+        } else {
+            *delay_count = next;
+        }
+    } else {
+        unreachable!("not a dormant agent");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stable::state::MainKind;
+    use population::RankOutput;
+
+    fn fast() -> FastLe {
+        FastLe {
+            l_max: 24,
+            coin_target: 6,
+        }
+    }
+
+    fn prop(rc: u32, dc: u32) -> StableState {
+        StableState::Un(UnState {
+            coin: true,
+            role: UnRole::Reset {
+                reset_count: rc,
+                delay_count: dc,
+            },
+        })
+    }
+
+    fn phase_agent(k: u32) -> StableState {
+        StableState::Un(UnState {
+            coin: true,
+            role: UnRole::Main {
+                alive: 9,
+                kind: MainKind::Phase(k),
+            },
+        })
+    }
+
+    #[test]
+    fn trigger_preserves_coin_of_unranked() {
+        let mut x = phase_agent(2);
+        trigger_reset(10, 20, &mut x);
+        assert_eq!(
+            x,
+            StableState::Un(UnState {
+                coin: true,
+                role: UnRole::Reset {
+                    reset_count: 10,
+                    delay_count: 20
+                }
+            })
+        );
+    }
+
+    #[test]
+    fn trigger_initializes_coin_of_ranked_to_zero() {
+        let mut x = StableState::Ranked(7);
+        trigger_reset(10, 20, &mut x);
+        assert_eq!(x.coin(), Some(false));
+        assert!(x.is_resetting());
+    }
+
+    #[test]
+    fn propagating_infects_computing_with_decremented_ttl() {
+        let mut u = prop(5, 20);
+        let mut v = phase_agent(1);
+        propagate_step(&fast(), 20, &mut u, &mut v);
+        assert_eq!(u, prop(4, 20));
+        // Infected agent keeps its coin, gets (resetCount(u), D_max).
+        assert_eq!(
+            v,
+            StableState::Un(UnState {
+                coin: true,
+                role: UnRole::Reset {
+                    reset_count: 4,
+                    delay_count: 20
+                }
+            })
+        );
+    }
+
+    #[test]
+    fn infection_works_in_both_orientations() {
+        let mut u = phase_agent(1);
+        let mut v = prop(3, 20);
+        propagate_step(&fast(), 20, &mut u, &mut v);
+        assert!(u.is_resetting());
+        assert_eq!(v, prop(2, 20));
+    }
+
+    #[test]
+    fn ranked_agents_are_infected_and_lose_their_rank() {
+        let mut u = prop(5, 20);
+        let mut v = StableState::Ranked(3);
+        propagate_step(&fast(), 20, &mut u, &mut v);
+        assert!(v.is_resetting());
+        assert_eq!(v.rank(), None);
+        assert_eq!(v.coin(), Some(false), "ranked agents had no coin");
+    }
+
+    #[test]
+    fn two_propagating_adopt_max_minus_one() {
+        let mut u = prop(3, 20);
+        let mut v = prop(7, 20);
+        propagate_step(&fast(), 20, &mut u, &mut v);
+        assert_eq!(u, prop(6, 20));
+        assert_eq!(v, prop(6, 20));
+    }
+
+    #[test]
+    fn propagating_meeting_dormant_decrements_both_counters() {
+        let mut u = prop(3, 20);
+        let mut v = prop(0, 10); // dormant
+        propagate_step(&fast(), 20, &mut u, &mut v);
+        assert_eq!(u, prop(2, 20));
+        assert_eq!(v, prop(0, 9));
+    }
+
+    #[test]
+    fn dormant_decrements_against_computing() {
+        let mut u = prop(0, 10);
+        let mut v = phase_agent(1);
+        propagate_step(&fast(), 20, &mut u, &mut v);
+        assert_eq!(u, prop(0, 9));
+        assert_eq!(v, phase_agent(1), "computing agent unaffected by dormant");
+    }
+
+    #[test]
+    fn two_dormant_both_decrement() {
+        let mut u = prop(0, 5);
+        let mut v = prop(0, 2);
+        propagate_step(&fast(), 20, &mut u, &mut v);
+        assert_eq!(u, prop(0, 4));
+        assert_eq!(v, prop(0, 1));
+    }
+
+    #[test]
+    fn dormant_wakes_into_leader_election_keeping_coin() {
+        let f = fast();
+        let mut u = prop(0, 1);
+        let mut v = phase_agent(1);
+        propagate_step(&f, 20, &mut u, &mut v);
+        match u {
+            StableState::Un(UnState {
+                coin,
+                role: UnRole::Elect(le),
+            }) => {
+                assert!(coin, "coin preserved through the whole reset");
+                assert_eq!(le, f.initial_state());
+            }
+            other => panic!("expected electing agent, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn propagator_reaching_zero_becomes_dormant_not_electing() {
+        let mut u = prop(1, 20);
+        let mut v = phase_agent(1);
+        propagate_step(&fast(), 20, &mut u, &mut v);
+        assert_eq!(u, prop(0, 20), "TTL 0 means dormant, delay untouched");
+        assert!(v.is_resetting(), "infection still happened with TTL 0");
+    }
+
+    #[test]
+    fn corrupted_zero_zero_state_self_heals() {
+        let f = fast();
+        let mut u = prop(0, 0);
+        let mut v = phase_agent(1);
+        propagate_step(&f, 20, &mut u, &mut v);
+        assert!(u.is_electing(), "(0,0) wakes up instead of sticking");
+    }
+
+    #[test]
+    fn applicability() {
+        assert!(applicable(&prop(1, 1), &phase_agent(1)));
+        assert!(applicable(&phase_agent(1), &prop(0, 1)));
+        assert!(!applicable(&phase_agent(1), &StableState::Ranked(2)));
+    }
+}

@@ -1,0 +1,378 @@
+//! State space of `STABLERANKING` (Protocol 3).
+//!
+//! The paper's state space is the disjoint union
+//!
+//! ```text
+//! Q = [n]  ⊎  {0,1} × ( [R_max]×[D_max]  ⊎  Q_SLE  ⊎  [L_max] × (waitCount ⊎ phase) )
+//!     rank     coin     PropagateReset      FastLE     aliveCount   RANKING roles
+//! ```
+//!
+//! Crucially, a **ranked agent stores nothing but its rank** — not even a
+//! coin. This is the space constraint that forces the "unaware leader"
+//! design, and the `enum` below makes violating it unrepresentable.
+
+use leader_election::fast::FastLeState;
+use population::RankOutput;
+
+use crate::params::Params;
+
+/// Full agent state of `STABLERANKING`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum StableState {
+    /// A ranked agent: `rank ∈ [n]`, nothing else.
+    Ranked(u64),
+    /// An unranked agent: a synthetic coin plus one of the unranked roles.
+    Un(UnState),
+}
+
+/// The unranked half of the state space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct UnState {
+    /// Synthetic coin, toggled on every activation as responder
+    /// (Protocol 3 lines 9–10).
+    pub coin: bool,
+    /// Which sub-protocol the agent is currently executing.
+    pub role: UnRole,
+}
+
+/// Sub-protocol roles of unranked agents.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum UnRole {
+    /// `PROPAGATERESET` participant: *propagating* while
+    /// `reset_count > 0`, *dormant* while `reset_count = 0 < delay_count`.
+    Reset {
+        /// `resetCount ∈ [0, R_max]`.
+        reset_count: u32,
+        /// `delayCount ∈ [0, D_max]`.
+        delay_count: u32,
+    },
+    /// `FASTLEADERELECTION` participant (Protocol 5).
+    Elect(FastLeState),
+    /// Main-protocol participant (`Ranking⁺`, Protocol 4).
+    Main {
+        /// `aliveCount ∈ [0, L_max]` liveness counter.
+        alive: u32,
+        /// Waiting or phase agent.
+        kind: MainKind,
+    },
+}
+
+/// The two unranked main-protocol roles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum MainKind {
+    /// `waitCount ∈ [1, ⌈c_wait log n⌉]`.
+    Waiting(u32),
+    /// `phase ∈ [1, ⌈log₂ n⌉]`.
+    Phase(u32),
+}
+
+impl StableState {
+    /// Is this agent in a main state (`Q_Main` of Protocol 4)? Note that
+    /// ranked agents *are* main states.
+    pub fn is_main(&self) -> bool {
+        matches!(
+            self,
+            StableState::Ranked(_)
+                | StableState::Un(UnState {
+                    role: UnRole::Main { .. },
+                    ..
+                })
+        )
+    }
+
+    /// Is this agent running `PROPAGATERESET` (propagating or dormant)?
+    pub fn is_resetting(&self) -> bool {
+        matches!(
+            self,
+            StableState::Un(UnState {
+                role: UnRole::Reset { .. },
+                ..
+            })
+        )
+    }
+
+    /// Is this agent running `FASTLEADERELECTION`?
+    pub fn is_electing(&self) -> bool {
+        matches!(
+            self,
+            StableState::Un(UnState {
+                role: UnRole::Elect(_),
+                ..
+            })
+        )
+    }
+
+    /// Is this a waiting agent?
+    pub fn is_waiting(&self) -> bool {
+        matches!(
+            self,
+            StableState::Un(UnState {
+                role: UnRole::Main {
+                    kind: MainKind::Waiting(_),
+                    ..
+                },
+                ..
+            })
+        )
+    }
+
+    /// The stored phase, if this is a phase agent.
+    pub fn phase(&self) -> Option<u32> {
+        match self {
+            StableState::Un(UnState {
+                role:
+                    UnRole::Main {
+                        kind: MainKind::Phase(k),
+                        ..
+                    },
+                ..
+            }) => Some(*k),
+            _ => None,
+        }
+    }
+
+    /// The liveness counter, if this is an unranked main agent.
+    pub fn alive(&self) -> Option<u32> {
+        match self {
+            StableState::Un(UnState {
+                role: UnRole::Main { alive, .. },
+                ..
+            }) => Some(*alive),
+            _ => None,
+        }
+    }
+
+    /// The synthetic coin, if the agent has one (all unranked agents do).
+    pub fn coin(&self) -> Option<bool> {
+        match self {
+            StableState::Un(u) => Some(u.coin),
+            StableState::Ranked(_) => None,
+        }
+    }
+
+    /// Is this state inside the protocol's state space for `params`?
+    ///
+    /// Every counter must respect its bound: `rank ∈ [1, n]`,
+    /// `resetCount ≤ R_max`, `delayCount ≤ D_max`, `LECount ≤ L_max`,
+    /// `coinCount ≤ ⌈log n⌉`, `aliveCount ≤ L_max`,
+    /// `waitCount ∈ [1, waitMax]`, `phase ∈ [1, ⌈log₂ n⌉]`, and
+    /// `isLeader ⇒ leaderDone` never... is required only of reachable
+    /// states — a lone `isLeader` flag is tolerated here because
+    /// adversarial initializations may contain it.
+    pub fn is_valid_for(&self, params: &Params) -> bool {
+        match self {
+            StableState::Ranked(r) => *r >= 1 && *r <= params.n() as u64,
+            StableState::Un(UnState { role, .. }) => match role {
+                UnRole::Reset {
+                    reset_count,
+                    delay_count,
+                } => *reset_count <= params.r_max() && *delay_count <= params.d_max(),
+                UnRole::Elect(le) => {
+                    le.le_count <= params.l_max() && le.coin_count <= params.coin_target()
+                }
+                UnRole::Main { alive, kind } => {
+                    *alive <= params.l_max()
+                        && match kind {
+                            MainKind::Waiting(w) => *w >= 1 && *w <= params.wait_max(),
+                            MainKind::Phase(k) => *k >= 1 && *k <= params.coin_target(),
+                        }
+                }
+            },
+        }
+    }
+
+    /// Encode the state to a dense integer, injectively, for the
+    /// state-space audit. The encoding is mixed-radix over the parameter
+    /// bounds; two distinct states always map to distinct codes as long as
+    /// they respect the bounds in `params` (guaranteed for protocol-reachable
+    /// states).
+    pub fn encode(&self, params: &Params) -> u64 {
+        let n = params.n() as u64;
+        match self {
+            StableState::Ranked(r) => r - 1, // 0 .. n-1
+            StableState::Un(UnState { coin, role }) => {
+                let coin_bit = u64::from(*coin);
+                let role_code = match role {
+                    UnRole::Reset {
+                        reset_count,
+                        delay_count,
+                    } => {
+                        // 0 .. (R_max+1)(D_max+1)
+                        u64::from(*reset_count) * (u64::from(params.d_max()) + 1)
+                            + u64::from(*delay_count)
+                    }
+                    UnRole::Elect(le) => {
+                        let base = (u64::from(params.r_max()) + 1)
+                            * (u64::from(params.d_max()) + 1);
+                        let flags =
+                            u64::from(le.leader_done) * 2 + u64::from(le.is_leader);
+                        base + ((u64::from(le.le_count)
+                            * (u64::from(params.coin_target()) + 1)
+                            + u64::from(le.coin_count))
+                            * 4
+                            + flags)
+                    }
+                    UnRole::Main { alive, kind } => {
+                        let base = (u64::from(params.r_max()) + 1)
+                            * (u64::from(params.d_max()) + 1)
+                            + (u64::from(params.l_max()) + 1)
+                                * (u64::from(params.coin_target()) + 1)
+                                * 4;
+                        let kind_code = match kind {
+                            MainKind::Waiting(w) => u64::from(*w),
+                            MainKind::Phase(k) => {
+                                u64::from(params.wait_max()) + 1 + u64::from(*k)
+                            }
+                        };
+                        let kind_radix = u64::from(params.wait_max())
+                            + u64::from(params.coin_target())
+                            + 2;
+                        base + u64::from(*alive) * kind_radix + kind_code
+                    }
+                };
+                n + role_code * 2 + coin_bit
+            }
+        }
+    }
+}
+
+impl RankOutput for StableState {
+    fn rank(&self) -> Option<u64> {
+        match self {
+            StableState::Ranked(r) => Some(*r),
+            StableState::Un(_) => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use leader_election::fast::FastLe;
+    use std::collections::HashSet;
+
+    fn params() -> Params {
+        Params::new(64)
+    }
+
+    #[test]
+    fn role_predicates() {
+        let p = params();
+        let fast = FastLe::for_n(p.n(), p.c_live);
+        let ranked = StableState::Ranked(3);
+        assert!(ranked.is_main() && !ranked.is_waiting());
+        assert_eq!(ranked.rank(), Some(3));
+        assert_eq!(ranked.coin(), None);
+
+        let waiting = StableState::Un(UnState {
+            coin: true,
+            role: UnRole::Main {
+                alive: 4,
+                kind: MainKind::Waiting(2),
+            },
+        });
+        assert!(waiting.is_main() && waiting.is_waiting());
+        assert_eq!(waiting.alive(), Some(4));
+        assert_eq!(waiting.phase(), None);
+
+        let phase = StableState::Un(UnState {
+            coin: false,
+            role: UnRole::Main {
+                alive: 1,
+                kind: MainKind::Phase(3),
+            },
+        });
+        assert_eq!(phase.phase(), Some(3));
+
+        let dormant = StableState::Un(UnState {
+            coin: false,
+            role: UnRole::Reset {
+                reset_count: 0,
+                delay_count: 5,
+            },
+        });
+        assert!(dormant.is_resetting() && !dormant.is_main());
+
+        let elect = StableState::Un(UnState {
+            coin: false,
+            role: UnRole::Elect(fast.initial_state()),
+        });
+        assert!(elect.is_electing() && !elect.is_main());
+    }
+
+    #[test]
+    fn encode_is_injective_over_representative_states() {
+        let p = params();
+        let fast = FastLe::for_n(p.n(), p.c_live);
+        let mut states = Vec::new();
+        for r in 1..=p.n() as u64 {
+            states.push(StableState::Ranked(r));
+        }
+        for coin in [false, true] {
+            for rc in 0..=p.r_max() {
+                for dc in 0..=p.d_max() {
+                    states.push(StableState::Un(UnState {
+                        coin,
+                        role: UnRole::Reset {
+                            reset_count: rc,
+                            delay_count: dc,
+                        },
+                    }));
+                }
+            }
+            for lc in 0..=fast.l_max {
+                for cc in 0..=fast.coin_target {
+                    for (done, lead) in [(false, false), (true, false), (true, true)] {
+                        states.push(StableState::Un(UnState {
+                            coin,
+                            role: UnRole::Elect(FastLeState {
+                                le_count: lc,
+                                coin_count: cc,
+                                leader_done: done,
+                                is_leader: lead,
+                            }),
+                        }));
+                    }
+                }
+            }
+            for alive in 0..=p.l_max() {
+                for w in 1..=p.wait_max() {
+                    states.push(StableState::Un(UnState {
+                        coin,
+                        role: UnRole::Main {
+                            alive,
+                            kind: MainKind::Waiting(w),
+                        },
+                    }));
+                }
+                for k in 1..=p.coin_target() {
+                    states.push(StableState::Un(UnState {
+                        coin,
+                        role: UnRole::Main {
+                            alive,
+                            kind: MainKind::Phase(k),
+                        },
+                    }));
+                }
+            }
+        }
+        let codes: HashSet<u64> = states.iter().map(|s| s.encode(&p)).collect();
+        assert_eq!(codes.len(), states.len(), "encoding must be injective");
+    }
+
+    #[test]
+    fn ranked_codes_are_the_first_n() {
+        let p = params();
+        for r in 1..=p.n() as u64 {
+            assert_eq!(StableState::Ranked(r).encode(&p), r - 1);
+        }
+        let un = StableState::Un(UnState {
+            coin: false,
+            role: UnRole::Reset {
+                reset_count: 0,
+                delay_count: 0,
+            },
+        });
+        assert!(un.encode(&p) >= p.n() as u64);
+    }
+}

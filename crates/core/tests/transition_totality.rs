@@ -1,0 +1,242 @@
+//! Property-based tests on the `STABLERANKING` transition function:
+//! totality and state-space closure.
+//!
+//! Self-stabilization is only meaningful if the transition function is
+//! total over the state space and never escapes it. These proptests
+//! generate *arbitrary* pairs of in-space states — including combinations
+//! no honest execution produces — and assert that one interaction
+//! (a) never panics, (b) yields states that are still in space, and
+//! (c) respects the protocol's structural rules (coin toggling, rank
+//! conservation outside resets/assignments).
+
+use proptest::prelude::*;
+
+use leader_election::fast::FastLeState;
+use population::Protocol;
+use ranking::stable::state::{MainKind, StableState, UnRole, UnState};
+use ranking::stable::StableRanking;
+use ranking::Params;
+
+const N: usize = 16;
+
+fn params() -> Params {
+    Params::new(N)
+}
+
+fn arb_state() -> impl Strategy<Value = StableState> {
+    let p = params();
+    let protocol = StableRanking::new(p.clone());
+    let fast = *protocol.fast_le();
+    prop_oneof![
+        // Ranked
+        (1..=N as u64).prop_map(StableState::Ranked),
+        // Resetting (propagating or dormant, including the corrupted 0/0)
+        (any::<bool>(), 0..=p.r_max(), 0..=p.d_max()).prop_map(|(coin, rc, dc)| {
+            StableState::Un(UnState {
+                coin,
+                role: UnRole::Reset {
+                    reset_count: rc,
+                    delay_count: dc,
+                },
+            })
+        }),
+        // Electing, any flag combination (even unreachable ones)
+        (
+            any::<bool>(),
+            1..=fast.l_max,
+            0..=fast.coin_target,
+            any::<bool>(),
+            any::<bool>()
+        )
+            .prop_map(|(coin, lc, cc, done, lead)| {
+                StableState::Un(UnState {
+                    coin,
+                    role: UnRole::Elect(FastLeState {
+                        le_count: lc,
+                        coin_count: cc,
+                        leader_done: done,
+                        is_leader: lead,
+                    }),
+                })
+            }),
+        // Waiting
+        (any::<bool>(), 0..=p.l_max(), 1..=p.wait_max()).prop_map(|(coin, alive, w)| {
+            StableState::Un(UnState {
+                coin,
+                role: UnRole::Main {
+                    alive,
+                    kind: MainKind::Waiting(w),
+                },
+            })
+        }),
+        // Phase
+        (any::<bool>(), 0..=p.l_max(), 1..=p.coin_target()).prop_map(|(coin, alive, k)| {
+            StableState::Un(UnState {
+                coin,
+                role: UnRole::Main {
+                    alive,
+                    kind: MainKind::Phase(k),
+                },
+            })
+        }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 2000, .. ProptestConfig::default() })]
+
+    /// (a) + (b): one step from any in-space pair stays in space.
+    #[test]
+    fn transition_is_total_and_closed(u0 in arb_state(), v0 in arb_state()) {
+        let protocol = StableRanking::new(params());
+        let mut u = u0;
+        let mut v = v0;
+        protocol.transition(&mut u, &mut v);
+        prop_assert!(u.is_valid_for(&params()), "u escaped: {u0:?} -> {u:?}");
+        prop_assert!(v.is_valid_for(&params()), "v escaped: {v0:?} -> {v:?}");
+    }
+
+    /// (c) coin rule: the responder's coin toggles iff the responder still
+    /// has one; an unranked responder that stays unranked and un-reset
+    /// must show the flipped coin.
+    #[test]
+    fn responder_coin_toggles_when_kept(u0 in arb_state(), v0 in arb_state()) {
+        let protocol = StableRanking::new(params());
+        let mut u = u0;
+        let mut v = v0;
+        protocol.transition(&mut u, &mut v);
+        if let (StableState::Un(before), StableState::Un(after)) = (&v0, &v) {
+            // If the responder kept its exact role-kind (no infection, no
+            // ranking, no re-initialization), the coin must have toggled.
+            let same_kind = std::mem::discriminant(&before.role)
+                == std::mem::discriminant(&after.role);
+            if same_kind {
+                prop_assert_eq!(
+                    after.coin,
+                    !before.coin,
+                    "responder coin failed to toggle: {:?} -> {:?}",
+                    v0,
+                    v
+                );
+            }
+        }
+    }
+
+    /// (c) rank conservation: an interaction between two *ranked* agents
+    /// either changes nothing (distinct ranks) or resets the initiator
+    /// (duplicate). It never invents a new rank value.
+    #[test]
+    fn ranked_pairs_never_invent_ranks(a in 1..=N as u64, b in 1..=N as u64) {
+        let protocol = StableRanking::new(params());
+        let mut u = StableState::Ranked(a);
+        let mut v = StableState::Ranked(b);
+        protocol.transition(&mut u, &mut v);
+        if a == b {
+            prop_assert!(u.is_resetting());
+            prop_assert_eq!(v, StableState::Ranked(b));
+        } else {
+            prop_assert_eq!(u, StableState::Ranked(a));
+            prop_assert_eq!(v, StableState::Ranked(b));
+        }
+    }
+
+    /// Determinism: the transition function is a function — same inputs,
+    /// same outputs (all randomness lives in the scheduler and coins).
+    #[test]
+    fn transition_is_deterministic(u0 in arb_state(), v0 in arb_state()) {
+        let protocol = StableRanking::new(params());
+        let (mut u1, mut v1) = (u0, v0);
+        let (mut u2, mut v2) = (u0, v0);
+        protocol.transition(&mut u1, &mut v1);
+        protocol.transition(&mut u2, &mut v2);
+        prop_assert_eq!((u1, v1), (u2, v2));
+    }
+
+    /// Liveness counters never increase beyond L_max, the only refresh
+    /// value (Protocol 4 lines 12–14 and 17–18).
+    #[test]
+    fn alive_counters_bounded_by_refresh_value(u0 in arb_state(), v0 in arb_state()) {
+        let protocol = StableRanking::new(params());
+        let l_max = params().l_max();
+        let mut u = u0;
+        let mut v = v0;
+        protocol.transition(&mut u, &mut v);
+        for s in [&u, &v] {
+            if let Some(a) = s.alive() {
+                prop_assert!(a <= l_max);
+            }
+        }
+    }
+}
+
+/// Deterministic companion: every pair drawn from a fixed catalogue of
+/// corner states is exercised through the transition in both orders.
+/// (Complements the random sampling above with full pairwise coverage of
+/// the qualitative corners.)
+#[test]
+fn corner_state_pairs_full_coverage() {
+    let p = params();
+    let protocol = StableRanking::new(p.clone());
+    let fast = *protocol.fast_le();
+    let mut catalogue: Vec<StableState> = vec![
+        StableState::Ranked(1),
+        StableState::Ranked((N - 1) as u64),
+        StableState::Ranked(N as u64),
+    ];
+    for coin in [false, true] {
+        catalogue.push(StableState::Un(UnState {
+            coin,
+            role: UnRole::Reset {
+                reset_count: 0,
+                delay_count: 1,
+            },
+        }));
+        catalogue.push(StableState::Un(UnState {
+            coin,
+            role: UnRole::Reset {
+                reset_count: p.r_max(),
+                delay_count: p.d_max(),
+            },
+        }));
+        catalogue.push(StableState::Un(UnState {
+            coin,
+            role: UnRole::Elect(fast.initial_state()),
+        }));
+        let mut winner = fast.initial_state();
+        winner.coin_count = 0;
+        catalogue.push(StableState::Un(UnState {
+            coin,
+            role: UnRole::Elect(winner),
+        }));
+        for kind in [
+            MainKind::Waiting(1),
+            MainKind::Waiting(p.wait_max()),
+            MainKind::Phase(1),
+            MainKind::Phase(p.coin_target()),
+        ] {
+            catalogue.push(StableState::Un(UnState {
+                coin,
+                role: UnRole::Main { alive: 1, kind },
+            }));
+            catalogue.push(StableState::Un(UnState {
+                coin,
+                role: UnRole::Main {
+                    alive: p.l_max(),
+                    kind,
+                },
+            }));
+        }
+    }
+    let mut executed = 0;
+    for a in &catalogue {
+        for b in &catalogue {
+            let mut u = *a;
+            let mut v = *b;
+            protocol.transition(&mut u, &mut v);
+            assert!(u.is_valid_for(&p), "{a:?} x {b:?} -> invalid u {u:?}");
+            assert!(v.is_valid_for(&p), "{a:?} x {b:?} -> invalid v {v:?}");
+            executed += 1;
+        }
+    }
+    assert_eq!(executed, catalogue.len() * catalogue.len());
+}

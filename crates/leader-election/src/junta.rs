@@ -1,0 +1,254 @@
+//! Junta election — stage 1 of the Gasieniec–Stachowiak leader-election
+//! protocol that the paper uses as its black box (extension module).
+//!
+//! The full GS'18 protocol achieves `O(log log n)` states by first
+//! electing a *junta*: a subpopulation of between 1 and `o(n)` agents
+//! that subsequently drives a phase clock. The junta is selected by a
+//! capped geometric race: every agent climbs one level per observed
+//! heads of the synthetic coin and stops climbing at the first tails;
+//! the cap is `⌈log₂ log₂ n⌉ + 1` levels, so the whole mechanism costs
+//! only `O(log log n)` states — this module demonstrates concretely where
+//! the black box's state frugality comes from (our `tournament`
+//! substitute trades this for simplicity; see DESIGN.md §3).
+//!
+//! An agent that reaches the cap is a **junta member**. Since reaching
+//! level `ℓ` requires `ℓ` consecutive heads, membership probability is
+//! `2^{-(⌈log₂ log₂ n⌉+1)} ≈ 1/(2 log₂ n)`, giving an expected junta size
+//! of `n/(2 log₂ n)`: w.h.p. non-empty yet strongly sublinear — exactly
+//! the property the GS phase clock needs.
+
+use population::Protocol;
+
+/// Junta-election protocol (capped geometric race).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JuntaElection {
+    n: usize,
+    /// Level cap `⌈log₂ log₂ n⌉ + 1`.
+    pub level_cap: u32,
+}
+
+/// Per-agent state: `O(log log n)` values in total.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct JuntaState {
+    /// Synthetic coin, toggled on each activation as responder.
+    pub coin: bool,
+    /// Current level (`0 ..= level_cap`).
+    pub level: u32,
+    /// Still climbing (has seen only heads so far)?
+    pub climbing: bool,
+}
+
+impl JuntaElection {
+    /// Junta election for population size `n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 4` (the cap formula needs `log₂ log₂ n ≥ 0`).
+    pub fn new(n: usize) -> Self {
+        assert!(n >= 4, "junta election needs n >= 4");
+        let loglog = (n as f64).log2().log2().ceil().max(0.0) as u32;
+        Self {
+            n,
+            level_cap: loglog + 1,
+        }
+    }
+
+    /// Initial configuration: everyone at level 0, climbing, coins
+    /// alternating.
+    pub fn initial(&self) -> Vec<JuntaState> {
+        (0..self.n)
+            .map(|i| JuntaState {
+                coin: i % 2 == 0,
+                level: 0,
+                climbing: true,
+            })
+            .collect()
+    }
+
+    /// Is this agent a junta member (reached the cap)?
+    pub fn is_member(&self, s: &JuntaState) -> bool {
+        s.level == self.level_cap
+    }
+
+    /// Number of junta members in a configuration.
+    pub fn junta_size(&self, states: &[JuntaState]) -> usize {
+        states.iter().filter(|s| self.is_member(s)).count()
+    }
+
+    /// Have all agents finished climbing (the race is decided)?
+    pub fn decided(states: &[JuntaState]) -> bool {
+        states.iter().all(|s| !s.climbing)
+    }
+
+    /// Exact number of distinct states: coin × (levels × climbing-flag,
+    /// minus the unreachable `climbing` variants at the cap).
+    /// `O(log log n)` — the headline of this construction.
+    pub fn state_count(&self) -> u64 {
+        // Levels 0..cap-1 with climbing ∈ {true, false}, plus the cap
+        // (membership implies climbing is over), all doubled by the coin.
+        2 * (2 * u64::from(self.level_cap) + 1)
+    }
+}
+
+impl Protocol for JuntaElection {
+    type State = JuntaState;
+
+    fn n(&self) -> usize {
+        self.n
+    }
+
+    fn transition(&self, u: &mut JuntaState, v: &mut JuntaState) -> bool {
+        if u.climbing {
+            if v.coin {
+                u.level += 1;
+                if u.level == self.level_cap {
+                    u.climbing = false; // junta member
+                }
+            } else {
+                u.climbing = false; // first tails ends the climb
+            }
+        }
+        // The responder's coin flips on every interaction, so the
+        // configuration always changes (the race itself is never silent;
+        // GS'18 uses it only as a bootstrap stage).
+        v.coin = !v.coin;
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use population::runner::run_seed_range;
+    use population::Simulator;
+
+    #[test]
+    fn cap_is_loglog_plus_one() {
+        assert_eq!(JuntaElection::new(256).level_cap, 4); // ⌈log₂ 8⌉ + 1
+        assert_eq!(JuntaElection::new(65536).level_cap, 5);
+        assert_eq!(JuntaElection::new(4).level_cap, 2);
+    }
+
+    #[test]
+    fn state_count_is_tiny() {
+        // n = 2^16: 2·(2·5+1) = 22 states — versus the tournament
+        // substitute's thousands. This is the O(log log n) of GS'18.
+        assert_eq!(JuntaElection::new(65536).state_count(), 22);
+        assert!(JuntaElection::new(1 << 20).state_count() < 30);
+    }
+
+    #[test]
+    fn heads_climb_tails_stop() {
+        let j = JuntaElection::new(256);
+        let mut u = JuntaState {
+            coin: false,
+            level: 0,
+            climbing: true,
+        };
+        let mut heads = JuntaState {
+            coin: true,
+            level: 0,
+            climbing: true,
+        };
+        j.transition(&mut u, &mut heads);
+        assert_eq!(u.level, 1);
+        assert!(u.climbing);
+        let mut tails = JuntaState {
+            coin: false,
+            level: 3,
+            climbing: true,
+        };
+        j.transition(&mut u, &mut tails);
+        assert!(!u.climbing, "first tails ends the climb");
+        assert_eq!(u.level, 1);
+    }
+
+    #[test]
+    fn reaching_the_cap_makes_a_member() {
+        let j = JuntaElection::new(256); // cap 4
+        let mut u = JuntaState {
+            coin: false,
+            level: 3,
+            climbing: true,
+        };
+        let mut heads = JuntaState {
+            coin: true,
+            level: 0,
+            climbing: false,
+        };
+        j.transition(&mut u, &mut heads);
+        assert!(j.is_member(&u));
+        assert!(!u.climbing);
+        // A member's level never moves again.
+        let mut more_heads = JuntaState {
+            coin: true,
+            level: 0,
+            climbing: false,
+        };
+        j.transition(&mut u, &mut more_heads);
+        assert_eq!(u.level, j.level_cap);
+    }
+
+    #[test]
+    fn junta_is_nonempty_and_sublinear() {
+        // E[size] = n/(2 log₂ n) = 32 at n = 512; over 30 seeds the size
+        // must always be ≥ 1 and well below n/4.
+        let n = 512;
+        let sizes = run_seed_range(30, |seed| {
+            let j = JuntaElection::new(n);
+            let init = j.initial();
+            let mut sim = Simulator::new(j, init, seed);
+            sim.run_until(
+                JuntaElection::decided,
+                10_000_000,
+                n as u64,
+            )
+            .converged_at()
+            .expect("race decides quickly");
+            sim.protocol().junta_size(sim.states())
+        });
+        for size in &sizes {
+            assert!(*size >= 1, "empty junta");
+            assert!(*size < n / 4, "junta too large: {size}");
+        }
+        let mean = sizes.iter().sum::<usize>() as f64 / sizes.len() as f64;
+        // Expected ≈ 32; allow generous slack for the capped race and the
+        // coin warm-up bias.
+        assert!(
+            (8.0..96.0).contains(&mean),
+            "mean junta size {mean} far from n/(2 log n) = 28.4"
+        );
+    }
+
+    #[test]
+    fn race_decides_in_linearithmic_time() {
+        // Every agent stops climbing within O(n log log n) interactions:
+        // each needs at most cap+1 own-initiator activations.
+        let n = 256;
+        for seed in 0..5 {
+            let j = JuntaElection::new(n);
+            let init = j.initial();
+            let mut sim = Simulator::new(j, init, seed);
+            let stop = sim.run_until(
+                JuntaElection::decided,
+                200 * n as u64,
+                n as u64,
+            );
+            assert!(stop.converged_at().is_some());
+        }
+    }
+
+    #[test]
+    fn levels_never_exceed_cap() {
+        let n = 128;
+        let j = JuntaElection::new(n);
+        let init = j.initial();
+        let mut sim = Simulator::new(j, init, 3);
+        for _ in 0..200 {
+            sim.run(100);
+            for s in sim.states() {
+                assert!(s.level <= sim.protocol().level_cap);
+            }
+        }
+    }
+}

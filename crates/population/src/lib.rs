@@ -1,0 +1,177 @@
+//! Population-protocol simulation engine.
+//!
+//! This crate is the substrate on which the ranking protocols of the paper
+//! *Silent Self-Stabilizing Ranking: Time Optimal and Space Efficient*
+//! (ICDCS 2025) are executed. It implements the standard population-protocol
+//! model: a population of `n` anonymous agents, each holding a state from a
+//! protocol-defined state space; in every discrete time step an ordered pair
+//! of distinct agents `(initiator, responder)` is drawn uniformly at random
+//! and both update their states through a common transition function.
+//!
+//! # Components
+//!
+//! * [`Protocol`] — the transition function and population size.
+//! * [`Simulator`] — a seeded, deterministic executor with convergence
+//!   detection ([`Simulator::run_until`]) and sampling observation
+//!   ([`Simulator::run_sampled`]).
+//! * [`silence`] — an exhaustive checker for the *silent* property: a
+//!   configuration is silent iff no ordered pair of agents would change
+//!   state when interacting.
+//! * [`runner`] — a scoped-thread fan-out for running many seeded
+//!   simulations in parallel.
+//! * [`primitives`] — self-contained reference protocols (one-way epidemic,
+//!   synthetic coin) used to validate the substrate against the paper's
+//!   Lemmas 14 and 28.
+//!
+//! # Example
+//!
+//! ```
+//! use population::{Protocol, Simulator, StopReason};
+//!
+//! /// A one-way epidemic: state `true` means "infected".
+//! struct Epidemic {
+//!     n: usize,
+//! }
+//!
+//! impl Protocol for Epidemic {
+//!     type State = bool;
+//!     fn n(&self) -> usize {
+//!         self.n
+//!     }
+//!     fn transition(&self, u: &mut bool, v: &mut bool) -> bool {
+//!         if *u && !*v {
+//!             *v = true;
+//!             return true;
+//!         }
+//!         false
+//!     }
+//! }
+//!
+//! let protocol = Epidemic { n: 50 };
+//! let mut states = vec![false; 50];
+//! states[0] = true;
+//! let mut sim = Simulator::new(protocol, states, 7);
+//! let stop = sim.run_until(|s| s.iter().all(|&i| i), 1_000_000, 50);
+//! assert!(matches!(stop, StopReason::Converged(_)));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod pairs;
+mod protocol;
+mod sim;
+
+pub mod modelcheck;
+pub mod primitives;
+pub mod runner;
+pub mod silence;
+
+pub use pairs::pair_mut;
+pub use protocol::{Protocol, RankOutput};
+pub use sim::{Simulator, StopReason};
+
+/// Returns `true` iff the ranks output by `states` form a permutation of
+/// `1..=n`, i.e. the configuration is a *valid ranking* (the paper's legal
+/// set `C_L`).
+///
+/// Agents whose output is `None` (unranked) immediately disqualify the
+/// configuration, as do duplicate or out-of-range ranks.
+///
+/// ```
+/// use population::is_valid_ranking;
+/// # struct R(u64);
+/// # impl population::RankOutput for R {
+/// #     fn rank(&self) -> Option<u64> { Some(self.0) }
+/// # }
+/// assert!(is_valid_ranking(&[R(2), R(1), R(3)]));
+/// assert!(!is_valid_ranking(&[R(2), R(2), R(3)]));
+/// ```
+pub fn is_valid_ranking<S: RankOutput>(states: &[S]) -> bool {
+    let n = states.len();
+    let mut seen = vec![false; n];
+    for s in states {
+        match s.rank() {
+            Some(r) if r >= 1 && (r as usize) <= n && !seen[r as usize - 1] => {
+                seen[r as usize - 1] = true;
+            }
+            _ => return false,
+        }
+    }
+    true
+}
+
+/// Number of agents currently holding a rank.
+pub fn ranked_count<S: RankOutput>(states: &[S]) -> usize {
+    states.iter().filter(|s| s.rank().is_some()).count()
+}
+
+/// Returns `true` iff at least two agents output the same rank.
+pub fn has_duplicate_rank<S: RankOutput>(states: &[S]) -> bool {
+    let n = states.len();
+    let mut seen = vec![false; n + 1];
+    for s in states {
+        if let Some(r) = s.rank() {
+            let idx = (r as usize).min(n);
+            if seen[idx] {
+                return true;
+            }
+            seen[idx] = true;
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct R(Option<u64>);
+    impl RankOutput for R {
+        fn rank(&self) -> Option<u64> {
+            self.0
+        }
+    }
+
+    #[test]
+    fn valid_ranking_accepts_permutation() {
+        let states: Vec<R> = [3, 1, 2, 4].iter().map(|&r| R(Some(r))).collect();
+        assert!(is_valid_ranking(&states));
+    }
+
+    #[test]
+    fn valid_ranking_rejects_duplicate() {
+        let states: Vec<R> = [1, 1, 2, 4].iter().map(|&r| R(Some(r))).collect();
+        assert!(!is_valid_ranking(&states));
+    }
+
+    #[test]
+    fn valid_ranking_rejects_out_of_range() {
+        let states: Vec<R> = [1, 2, 5].iter().map(|&r| R(Some(r))).collect();
+        assert!(!is_valid_ranking(&states));
+        let zero: Vec<R> = [0, 1, 2].iter().map(|&r| R(Some(r))).collect();
+        assert!(!is_valid_ranking(&zero));
+    }
+
+    #[test]
+    fn valid_ranking_rejects_unranked() {
+        let states = vec![R(Some(1)), R(None), R(Some(2))];
+        assert!(!is_valid_ranking(&states));
+        assert_eq!(ranked_count(&states), 2);
+    }
+
+    #[test]
+    fn duplicate_rank_detection() {
+        let dup = vec![R(Some(2)), R(None), R(Some(2))];
+        assert!(has_duplicate_rank(&dup));
+        let ok = vec![R(Some(2)), R(None), R(Some(1))];
+        assert!(!has_duplicate_rank(&ok));
+    }
+
+    #[test]
+    fn empty_population_is_trivially_valid() {
+        let states: Vec<R> = Vec::new();
+        assert!(is_valid_ranking(&states));
+        assert!(!has_duplicate_rank(&states));
+    }
+}

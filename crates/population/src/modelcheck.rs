@@ -1,0 +1,281 @@
+//! Exhaustive model checking for small populations.
+//!
+//! Stochastic tests sample trajectories; for tiny populations we can do
+//! better and enumerate *every* reachable configuration. Because
+//! population protocols are anonymous, configurations are multisets of
+//! states: we canonicalize by sorting, which typically shrinks the space
+//! by a factor of `n!` and makes exhaustive exploration of 4–6 agent
+//! populations practical.
+//!
+//! Two checks matter for this paper's claims:
+//!
+//! * **Closure / silence** ([`Reachability::silent_configs`]): which
+//!   reachable configurations are absorbing? A silent protocol's silent
+//!   configurations must all satisfy the output predicate (e.g. "is a
+//!   valid ranking") — a single bad absorbing configuration falsifies
+//!   correctness in a way no sampling test reliably can.
+//! * **Probabilistic stabilization** ([`Reachability::all_can_reach`]):
+//!   under the uniform random scheduler, the protocol stabilizes with
+//!   probability 1 iff *every* reachable configuration has a path to a
+//!   goal configuration (the scheduler is fair w.p. 1, and goal sets here
+//!   are closed). This is exactly the paper's definition in Section III,
+//!   checked exhaustively.
+
+use std::collections::HashMap;
+
+use crate::protocol::Protocol;
+
+/// Result of an exhaustive reachability exploration.
+#[derive(Debug)]
+pub struct Reachability<S> {
+    configs: Vec<Vec<S>>,
+    /// Forward edges as indices into `configs` (deduplicated).
+    successors: Vec<Vec<usize>>,
+    truncated: bool,
+}
+
+/// Explore every configuration reachable from `initial` (canonicalized as
+/// a sorted multiset), visiting at most `cap` configurations.
+///
+/// Returns a [`Reachability`] whose `truncated` flag reports whether the
+/// cap was hit; checks on a truncated exploration are unsound and the
+/// accessors panic in that case.
+///
+/// The state type must be `Ord` for canonicalization.
+pub fn explore<P>(protocol: &P, initial: Vec<P::State>, cap: usize) -> Reachability<P::State>
+where
+    P: Protocol,
+    P::State: Ord + Eq + std::hash::Hash + Clone,
+{
+    let mut canon = initial;
+    canon.sort();
+
+    let mut index: HashMap<Vec<P::State>, usize> = HashMap::new();
+    let mut configs = vec![canon.clone()];
+    index.insert(canon, 0);
+    let mut successors: Vec<Vec<usize>> = vec![Vec::new()];
+    let mut frontier = vec![0usize];
+    let mut truncated = false;
+
+    while let Some(ci) = frontier.pop() {
+        let n = configs[ci].len();
+        let mut succ = Vec::new();
+        for i in 0..n {
+            for j in 0..n {
+                if i == j {
+                    continue;
+                }
+                let mut next = configs[ci].clone();
+                let (mut u, mut v) = (next[i].clone(), next[j].clone());
+                protocol.transition(&mut u, &mut v);
+                next[i] = u;
+                next[j] = v;
+                next.sort();
+                if next == configs[ci] {
+                    continue;
+                }
+                let id = match index.get(&next) {
+                    Some(&id) => id,
+                    None => {
+                        if configs.len() >= cap {
+                            truncated = true;
+                            continue;
+                        }
+                        let id = configs.len();
+                        configs.push(next.clone());
+                        successors.push(Vec::new());
+                        index.insert(next, id);
+                        frontier.push(id);
+                        id
+                    }
+                };
+                if !succ.contains(&id) {
+                    succ.push(id);
+                }
+            }
+        }
+        successors[ci] = succ;
+    }
+
+    Reachability {
+        configs,
+        successors,
+        truncated,
+    }
+}
+
+impl<S: Clone> Reachability<S> {
+    /// Did the exploration hit the configuration cap? If so, the other
+    /// accessors are unsound and will panic.
+    pub fn truncated(&self) -> bool {
+        self.truncated
+    }
+
+    /// Number of distinct reachable configurations (as multisets).
+    pub fn len(&self) -> usize {
+        assert!(!self.truncated, "exploration truncated; raise the cap");
+        self.configs.len()
+    }
+
+    /// True iff no configuration was reachable beyond the initial one...
+    /// i.e. the initial configuration is already absorbing.
+    pub fn is_empty(&self) -> bool {
+        self.len() <= 1 && self.successors[0].is_empty()
+    }
+
+    /// All reachable configurations that are *silent*: no interaction
+    /// leads to a different configuration.
+    pub fn silent_configs(&self) -> Vec<&Vec<S>> {
+        assert!(!self.truncated, "exploration truncated; raise the cap");
+        self.configs
+            .iter()
+            .zip(&self.successors)
+            .filter(|(_, succ)| succ.is_empty())
+            .map(|(c, _)| c)
+            .collect()
+    }
+
+    /// Does *every* reachable configuration have a path to one satisfying
+    /// `goal`? Under the uniform scheduler this is equivalent to
+    /// "the protocol reaches the goal with probability 1 from the
+    /// explored initial configuration" whenever the goal set is closed.
+    pub fn all_can_reach(&self, goal: impl Fn(&[S]) -> bool) -> bool {
+        self.count_cannot_reach(goal) == 0
+    }
+
+    /// Number of reachable configurations with *no* path into the goal
+    /// set (0 means stabilization with probability 1).
+    pub fn count_cannot_reach(&self, goal: impl Fn(&[S]) -> bool) -> usize {
+        self.configs_cannot_reach(goal).len()
+    }
+
+    /// The reachable configurations with no path into the goal set —
+    /// useful for inspecting *how* a protocol can get stuck.
+    pub fn configs_cannot_reach(&self, goal: impl Fn(&[S]) -> bool) -> Vec<&Vec<S>> {
+        assert!(!self.truncated, "exploration truncated; raise the cap");
+        let mut can = vec![false; self.configs.len()];
+        for (i, c) in self.configs.iter().enumerate() {
+            can[i] = goal(c);
+        }
+        // Fixpoint of backward propagation along forward edges.
+        loop {
+            let mut changed = false;
+            for i in 0..self.configs.len() {
+                if !can[i] && self.successors[i].iter().any(|&s| can[s]) {
+                    can[i] = true;
+                    changed = true;
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        self.configs
+            .iter()
+            .zip(&can)
+            .filter(|(_, ok)| !**ok)
+            .map(|(c, _)| c)
+            .collect()
+    }
+
+    /// The reachable configurations themselves (canonicalized).
+    pub fn configs(&self) -> &[Vec<S>] {
+        assert!(!self.truncated, "exploration truncated; raise the cap");
+        &self.configs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::primitives::epidemic::{Epidemic, EpidemicState};
+
+    /// The epidemic on 4 members: reachable configs are exactly the
+    /// infection counts 1..=4, the unique silent config is all-infected.
+    #[test]
+    fn epidemic_reachability_is_a_chain() {
+        let protocol = Epidemic::new(4);
+        let init = protocol.initial(4);
+        let r = explore(&protocol, init, 10_000);
+        assert!(!r.truncated());
+        assert_eq!(r.len(), 4, "one config per infection count");
+        let silent = r.silent_configs();
+        assert_eq!(silent.len(), 1);
+        assert!(silent[0]
+            .iter()
+            .all(|s| *s == EpidemicState::Infected));
+        assert!(r.all_can_reach(Epidemic::complete));
+    }
+
+    #[test]
+    fn epidemic_with_bystanders_keeps_them_clean() {
+        let protocol = Epidemic::new(5);
+        let init = protocol.initial(3);
+        let r = explore(&protocol, init, 10_000);
+        for c in r.configs() {
+            let bystanders = c
+                .iter()
+                .filter(|s| **s == EpidemicState::Bystander)
+                .count();
+            assert_eq!(bystanders, 2, "bystander count is invariant");
+        }
+    }
+
+    /// A protocol with a reachable deadlock (absorbing non-goal config)
+    /// must be caught by the checker: two tokens annihilate, one token
+    /// converts blanks — from two tokens, annihilation leads to all-blank
+    /// which can never reach all-converted.
+    #[test]
+    fn checker_detects_bad_absorbing_configurations() {
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+        enum S {
+            Token,
+            Blank,
+            Converted,
+        }
+        struct Annihilate;
+        impl Protocol for Annihilate {
+            type State = S;
+            fn n(&self) -> usize {
+                3
+            }
+            fn transition(&self, u: &mut S, v: &mut S) -> bool {
+                match (*u, *v) {
+                    (S::Token, S::Token) => {
+                        *u = S::Blank;
+                        *v = S::Blank;
+                        true
+                    }
+                    (S::Token, S::Blank) => {
+                        *v = S::Converted;
+                        true
+                    }
+                    _ => false,
+                }
+            }
+        }
+        let r = explore(&Annihilate, vec![S::Token, S::Token, S::Blank], 1000);
+        assert!(!r.all_can_reach(|c| c.iter().all(|s| *s != S::Blank)));
+        assert!(r.count_cannot_reach(|c| c.iter().all(|s| *s != S::Blank)) >= 1);
+    }
+
+    #[test]
+    fn cap_truncation_is_reported_and_guards_accessors() {
+        let protocol = Epidemic::new(6);
+        let init = protocol.initial(6);
+        let r = explore(&protocol, init, 2);
+        assert!(r.truncated());
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| r.len()));
+        assert!(caught.is_err(), "accessor must panic on truncated result");
+    }
+
+    #[test]
+    fn sorted_canonicalization_merges_permuted_configs() {
+        // With 2 members of 2, the configs "agent0 infected" and
+        // "agent1 infected" are the same multiset.
+        let protocol = Epidemic::new(2);
+        let init = protocol.initial(2);
+        let r = explore(&protocol, init, 100);
+        assert_eq!(r.len(), 2); // {S,I} and {I,I}
+    }
+}

@@ -1,0 +1,61 @@
+/// Borrow two distinct elements of a slice mutably at the same time.
+///
+/// # Panics
+///
+/// Panics if `i == j` or either index is out of bounds — both indicate a
+/// scheduler bug, so failing loudly is preferred over an `Option` return.
+///
+/// ```
+/// let mut v = vec![10, 20, 30];
+/// let (a, b) = population::pair_mut(&mut v, 2, 0);
+/// std::mem::swap(a, b);
+/// assert_eq!(v, [30, 20, 10]);
+/// ```
+pub fn pair_mut<T>(slice: &mut [T], i: usize, j: usize) -> (&mut T, &mut T) {
+    assert!(i != j, "pair_mut requires distinct indices, got {i} twice");
+    if i < j {
+        let (lo, hi) = slice.split_at_mut(j);
+        (&mut lo[i], &mut hi[0])
+    } else {
+        let (lo, hi) = slice.split_at_mut(i);
+        (&mut hi[0], &mut lo[j])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn returns_requested_elements_in_order() {
+        let mut v = vec![1, 2, 3, 4];
+        {
+            let (a, b) = pair_mut(&mut v, 1, 3);
+            assert_eq!((*a, *b), (2, 4));
+            *a = 20;
+            *b = 40;
+        }
+        assert_eq!(v, [1, 20, 3, 40]);
+    }
+
+    #[test]
+    fn works_with_reversed_order() {
+        let mut v = vec![1, 2, 3, 4];
+        let (a, b) = pair_mut(&mut v, 3, 0);
+        assert_eq!((*a, *b), (4, 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "distinct indices")]
+    fn panics_on_equal_indices() {
+        let mut v = vec![1, 2];
+        let _ = pair_mut(&mut v, 1, 1);
+    }
+
+    #[test]
+    #[should_panic]
+    fn panics_out_of_bounds() {
+        let mut v = vec![1, 2];
+        let _ = pair_mut(&mut v, 0, 5);
+    }
+}

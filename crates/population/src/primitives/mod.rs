@@ -1,0 +1,14 @@
+//! Reference primitives used throughout the paper's analysis.
+//!
+//! These are small, self-contained population protocols that the ranking
+//! protocols rely on implicitly (one-way epidemics for broadcasts, the
+//! synthetic coin for randomized decisions). Implementing them standalone
+//! lets the test suite and the benchmark harness validate the substrate
+//! against the paper's Lemma 14 (epidemic tail bound) and Lemma 28 (coin
+//! balance) in isolation.
+
+pub mod coin;
+pub mod epidemic;
+
+pub use coin::{CoinPopulation, CoinState};
+pub use epidemic::{Epidemic, EpidemicState};

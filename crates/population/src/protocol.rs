@@ -1,0 +1,45 @@
+use std::fmt::Debug;
+
+/// A population protocol: a state space and a common transition function
+/// over ordered pairs of agents.
+///
+/// The model follows Section III of the paper: in each time step two agents
+/// are chosen uniformly at random; the first argument of
+/// [`transition`](Protocol::transition) is the *initiator* `u`, the second
+/// the *responder* `v`. Protocols whose pseudocode is symmetric simply
+/// ignore the distinction.
+///
+/// Implementations must be deterministic: all randomness comes from the
+/// scheduler (and from *synthetic coins* stored inside agent states, as in
+/// Section V of the paper). This is what makes every simulation exactly
+/// reproducible from a seed.
+pub trait Protocol {
+    /// Per-agent state. Kept `Clone + PartialEq + Debug` so the engine can
+    /// detect state changes and report configurations in test failures.
+    type State: Clone + PartialEq + Debug;
+
+    /// The population size `n` this protocol instance is configured for.
+    ///
+    /// Population protocols in this paper assume exact knowledge of `n`
+    /// (required for ranking; see Theorem 1 of Cai et al. cited in
+    /// Section IV), so the protocol value carries it.
+    fn n(&self) -> usize;
+
+    /// Apply one interaction to `(initiator, responder)`, mutating the
+    /// states in place. Returns `true` iff either state changed.
+    ///
+    /// The return value is advisory (used by observers and tests); the
+    /// engine does not rely on it for correctness.
+    fn transition(&self, initiator: &mut Self::State, responder: &mut Self::State) -> bool;
+}
+
+/// Output map for ranking protocols: the rank an agent currently outputs,
+/// or `None` while unranked.
+///
+/// This decouples the engine's convergence predicates
+/// ([`crate::is_valid_ranking`]) from any particular protocol's state
+/// representation.
+pub trait RankOutput {
+    /// The rank in `1..=n` output by this state, if any.
+    fn rank(&self) -> Option<u64>;
+}

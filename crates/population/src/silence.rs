@@ -1,0 +1,103 @@
+//! Exhaustive silence checking.
+//!
+//! A configuration is *silent* (Section III of the paper) when no sequence
+//! of interactions changes any agent's state — equivalently, when no single
+//! ordered pair changes state. [`is_silent`] verifies the latter by trying
+//! all `n(n-1)` ordered pairs against the transition function on cloned
+//! states, so it is `O(n²)` and intended for tests and end-of-run
+//! verification rather than inner loops.
+
+use crate::protocol::Protocol;
+
+/// Returns `true` iff no ordered pair of agents would change state.
+///
+/// ```
+/// use population::{silence::is_silent, Protocol};
+///
+/// struct Infect;
+/// impl Protocol for Infect {
+///     type State = bool;
+///     fn n(&self) -> usize {
+///         3
+///     }
+///     fn transition(&self, u: &mut bool, v: &mut bool) -> bool {
+///         if *u && !*v {
+///             *v = true;
+///             return true;
+///         }
+///         false
+///     }
+/// }
+///
+/// assert!(is_silent(&Infect, &[true, true, true]));
+/// assert!(is_silent(&Infect, &[false, false, false]));
+/// assert!(!is_silent(&Infect, &[true, false, true]));
+/// ```
+pub fn is_silent<P: Protocol>(protocol: &P, states: &[P::State]) -> bool {
+    first_active_pair(protocol, states).is_none()
+}
+
+/// Finds the first ordered pair `(i, j)` whose interaction would change a
+/// state, if any. Useful in test diagnostics: a failing silence assertion
+/// can report *which* interaction is still enabled.
+pub fn first_active_pair<P: Protocol>(protocol: &P, states: &[P::State]) -> Option<(usize, usize)> {
+    let n = states.len();
+    for i in 0..n {
+        for j in 0..n {
+            if i == j {
+                continue;
+            }
+            let mut u = states[i].clone();
+            let mut v = states[j].clone();
+            protocol.transition(&mut u, &mut v);
+            if u != states[i] || v != states[j] {
+                return Some((i, j));
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Sort;
+    impl Protocol for Sort {
+        type State = u32;
+        fn n(&self) -> usize {
+            4
+        }
+        // Initiator keeps min, responder keeps max: silent iff... never —
+        // wait, this rule is order-dependent; silent iff all equal.
+        fn transition(&self, u: &mut u32, v: &mut u32) -> bool {
+            let (lo, hi) = ((*u).min(*v), (*u).max(*v));
+            let changed = (*u, *v) != (lo, hi);
+            *u = lo;
+            *v = hi;
+            changed
+        }
+    }
+
+    #[test]
+    fn all_equal_is_silent() {
+        assert!(is_silent(&Sort, &[5, 5, 5, 5]));
+    }
+
+    #[test]
+    fn unequal_pair_is_reported() {
+        let states = [5, 5, 3, 5];
+        assert!(!is_silent(&Sort, &states));
+        // First active ordered pair scanning row-major: (0,2) has u=5,v=3 ->
+        // becomes (3,5), a change.
+        assert_eq!(first_active_pair(&Sort, &states), Some((0, 2)));
+    }
+
+    #[test]
+    fn silence_check_does_not_mutate() {
+        let states = [1, 2, 3, 4];
+        let copy = states;
+        let _ = is_silent(&Sort, &states);
+        assert_eq!(states, copy);
+    }
+}

@@ -1,0 +1,316 @@
+use rand::rngs::SmallRng;
+use rand::{RngExt, SeedableRng};
+
+use crate::pairs::pair_mut;
+use crate::protocol::Protocol;
+
+/// Why a bounded run stopped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StopReason {
+    /// The convergence predicate became true; the payload is the number of
+    /// interactions executed when it was first observed true. Because the
+    /// predicate is polled every `check_every` interactions, the reported
+    /// time overshoots the true hitting time by less than `check_every`.
+    Converged(u64),
+    /// The interaction budget was exhausted without convergence.
+    BudgetExhausted,
+}
+
+impl StopReason {
+    /// The convergence time, if the run converged.
+    pub fn converged_at(self) -> Option<u64> {
+        match self {
+            StopReason::Converged(t) => Some(t),
+            StopReason::BudgetExhausted => None,
+        }
+    }
+}
+
+/// A seeded, deterministic executor for a [`Protocol`].
+///
+/// Each [`step`](Simulator::step) draws an ordered pair of distinct agents
+/// uniformly at random (the *uniform scheduler* of the paper) and applies
+/// the protocol's transition function.
+///
+/// ```
+/// use population::{Protocol, Simulator};
+///
+/// struct Max;
+/// impl Protocol for Max {
+///     type State = u32;
+///     fn n(&self) -> usize {
+///         8
+///     }
+///     fn transition(&self, u: &mut u32, v: &mut u32) -> bool {
+///         let m = (*u).max(*v);
+///         let changed = *u != m || *v != m;
+///         *u = m;
+///         *v = m;
+///         changed
+///     }
+/// }
+///
+/// let mut sim = Simulator::new(Max, (0..8).collect(), 1);
+/// sim.run(10_000);
+/// assert!(sim.states().iter().all(|&s| s == 7));
+/// ```
+#[derive(Debug)]
+pub struct Simulator<P: Protocol> {
+    protocol: P,
+    states: Vec<P::State>,
+    rng: SmallRng,
+    interactions: u64,
+}
+
+impl<P: Protocol> Simulator<P> {
+    /// Create a simulator over `initial` states using a deterministic RNG
+    /// seeded with `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `initial.len() != protocol.n()` or the population has
+    /// fewer than two agents (no pair can interact).
+    pub fn new(protocol: P, initial: Vec<P::State>, seed: u64) -> Self {
+        assert_eq!(
+            initial.len(),
+            protocol.n(),
+            "initial configuration size must match protocol.n()"
+        );
+        assert!(initial.len() >= 2, "population needs at least two agents");
+        Self {
+            protocol,
+            states: initial,
+            rng: SmallRng::seed_from_u64(seed),
+            interactions: 0,
+        }
+    }
+
+    /// The protocol being simulated.
+    pub fn protocol(&self) -> &P {
+        &self.protocol
+    }
+
+    /// Current configuration.
+    pub fn states(&self) -> &[P::State] {
+        &self.states
+    }
+
+    /// Number of interactions executed so far.
+    pub fn interactions(&self) -> u64 {
+        self.interactions
+    }
+
+    /// Execute one interaction; returns `true` iff a state changed.
+    pub fn step(&mut self) -> bool {
+        let n = self.states.len();
+        let i = self.rng.random_range(0..n);
+        let j = {
+            // Uniform over the n-1 others: draw from 0..n-1 and skip i.
+            let r = self.rng.random_range(0..n - 1);
+            if r >= i {
+                r + 1
+            } else {
+                r
+            }
+        };
+        self.interactions += 1;
+        let (u, v) = pair_mut(&mut self.states, i, j);
+        self.protocol.transition(u, v)
+    }
+
+    /// Execute exactly `count` interactions.
+    pub fn run(&mut self, count: u64) {
+        for _ in 0..count {
+            self.step();
+        }
+    }
+
+    /// Run until `converged` returns true (polled every `check_every`
+    /// interactions, and once before the first step) or until
+    /// `max_interactions` have been executed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `check_every == 0`.
+    pub fn run_until(
+        &mut self,
+        mut converged: impl FnMut(&[P::State]) -> bool,
+        max_interactions: u64,
+        check_every: u64,
+    ) -> StopReason {
+        assert!(check_every > 0, "check_every must be positive");
+        if converged(&self.states) {
+            return StopReason::Converged(self.interactions);
+        }
+        let deadline = self.interactions + max_interactions;
+        while self.interactions < deadline {
+            let burst = check_every.min(deadline - self.interactions);
+            self.run(burst);
+            if converged(&self.states) {
+                return StopReason::Converged(self.interactions);
+            }
+        }
+        StopReason::BudgetExhausted
+    }
+
+    /// Run `max_interactions` interactions, invoking `observe` on the
+    /// configuration every `sample_every` interactions (and once at the
+    /// start). Useful for recording time series such as Figure 2 of the
+    /// paper.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sample_every == 0`.
+    pub fn run_sampled(
+        &mut self,
+        max_interactions: u64,
+        sample_every: u64,
+        mut observe: impl FnMut(u64, &[P::State]),
+    ) {
+        assert!(sample_every > 0, "sample_every must be positive");
+        observe(self.interactions, &self.states);
+        let deadline = self.interactions + max_interactions;
+        while self.interactions < deadline {
+            let burst = sample_every.min(deadline - self.interactions);
+            self.run(burst);
+            observe(self.interactions, &self.states);
+        }
+    }
+
+    /// Consume the simulator, returning the final configuration.
+    pub fn into_states(self) -> Vec<P::State> {
+        self.states
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Counts interactions on each side; never changes "converged" flag.
+    struct Count;
+    impl Protocol for Count {
+        type State = (u64, u64);
+        fn n(&self) -> usize {
+            16
+        }
+        fn transition(&self, u: &mut Self::State, v: &mut Self::State) -> bool {
+            u.0 += 1;
+            v.1 += 1;
+            true
+        }
+    }
+
+    #[test]
+    fn same_seed_same_trajectory() {
+        let mut a = Simulator::new(Count, vec![(0, 0); 16], 42);
+        let mut b = Simulator::new(Count, vec![(0, 0); 16], 42);
+        a.run(5000);
+        b.run(5000);
+        assert_eq!(a.states(), b.states());
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = Simulator::new(Count, vec![(0, 0); 16], 1);
+        let mut b = Simulator::new(Count, vec![(0, 0); 16], 2);
+        a.run(5000);
+        b.run(5000);
+        assert_ne!(a.states(), b.states());
+    }
+
+    #[test]
+    fn interaction_counter_advances() {
+        let mut sim = Simulator::new(Count, vec![(0, 0); 16], 3);
+        sim.run(123);
+        assert_eq!(sim.interactions(), 123);
+        sim.step();
+        assert_eq!(sim.interactions(), 124);
+    }
+
+    #[test]
+    fn pair_selection_is_roughly_uniform() {
+        // Every agent should be initiator and responder about equally often:
+        // 60k interactions over 16 agents = 3750 expected per role per agent.
+        let mut sim = Simulator::new(Count, vec![(0, 0); 16], 7);
+        sim.run(60_000);
+        for &(ini, res) in sim.states() {
+            assert!(
+                (2800..4700).contains(&ini),
+                "initiator count {ini} far from expectation 3750"
+            );
+            assert!(
+                (2800..4700).contains(&res),
+                "responder count {res} far from expectation 3750"
+            );
+        }
+    }
+
+    #[test]
+    fn initiator_totals_match_interactions() {
+        let mut sim = Simulator::new(Count, vec![(0, 0); 16], 9);
+        sim.run(1000);
+        let total: u64 = sim.states().iter().map(|s| s.0).sum();
+        assert_eq!(total, 1000);
+    }
+
+    #[test]
+    fn run_until_converges_immediately_if_predicate_holds() {
+        let mut sim = Simulator::new(Count, vec![(0, 0); 16], 5);
+        let stop = sim.run_until(|_| true, 1000, 10);
+        assert_eq!(stop, StopReason::Converged(0));
+        assert_eq!(sim.interactions(), 0);
+    }
+
+    #[test]
+    fn run_until_respects_budget() {
+        let mut sim = Simulator::new(Count, vec![(0, 0); 16], 5);
+        let stop = sim.run_until(|_| false, 250, 100);
+        assert_eq!(stop, StopReason::BudgetExhausted);
+        assert_eq!(sim.interactions(), 250);
+    }
+
+    #[test]
+    fn run_until_overshoot_bounded_by_check_every() {
+        // Converges when total initiator count reaches 77; polling every 50
+        // must report within 50 interactions of the true hitting time.
+        let mut sim = Simulator::new(Count, vec![(0, 0); 16], 5);
+        let stop = sim.run_until(
+            |s| s.iter().map(|x| x.0).sum::<u64>() >= 77,
+            10_000,
+            50,
+        );
+        let t = stop.converged_at().expect("must converge");
+        assert!((77..77 + 50).contains(&t), "t = {t}");
+    }
+
+    #[test]
+    fn run_sampled_observes_start_and_end() {
+        let mut sim = Simulator::new(Count, vec![(0, 0); 16], 5);
+        let mut samples = Vec::new();
+        sim.run_sampled(200, 60, |t, _| samples.push(t));
+        assert_eq!(samples, vec![0, 60, 120, 180, 200]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two agents")]
+    fn rejects_tiny_population() {
+        struct One;
+        impl Protocol for One {
+            type State = ();
+            fn n(&self) -> usize {
+                1
+            }
+            fn transition(&self, _: &mut (), _: &mut ()) -> bool {
+                false
+            }
+        }
+        let _ = Simulator::new(One, vec![()], 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "must match protocol.n()")]
+    fn rejects_mismatched_initial_configuration() {
+        let _ = Simulator::new(Count, vec![(0, 0); 5], 0);
+    }
+}

@@ -1,0 +1,83 @@
+//! Exhaustive verification of the self-stabilization claim at n = 3.
+//!
+//! For tiny populations we don't have to sample trajectories: because
+//! agents are anonymous, configurations are multisets, and the whole
+//! reachable configuration graph of `StableRanking` fits in memory. This
+//! example enumerates it from the maximally broken all-same-rank start,
+//! then proves — not samples — two facts:
+//!
+//!  1. every absorbing configuration is a valid ranking;
+//!  2. every reachable configuration has a path to a valid ranking
+//!     (stabilization with probability 1 under the uniform scheduler).
+//!
+//! It also exhibits the contrast with the *non*-self-stabilizing base
+//! protocol, whose reachable graph contains duplicate-rank dead ends —
+//! exactly the low-probability event Lemma 6 bounds, and exactly what
+//! `Ranking⁺`'s error detection closes.
+//!
+//! Run with: `cargo run --release --example model_check`
+
+use silent_ranking::leader_election::tournament::TournamentLe;
+use silent_ranking::population::modelcheck::explore;
+use silent_ranking::population::{has_duplicate_rank, is_valid_ranking};
+use silent_ranking::ranking::space_efficient::{SeState, SpaceEfficientRanking};
+use silent_ranking::ranking::stable::display::configuration;
+use silent_ranking::ranking::stable::StableRanking;
+use silent_ranking::ranking::Params;
+
+fn main() {
+    let n = 3;
+
+    // ---- Theorem 2's machine, exhaustively ----
+    let protocol = StableRanking::new(Params::new(n));
+    let init = protocol.all_same_rank(2);
+    println!("StableRanking, n = {n}, start: {}", configuration(&init));
+    let r = explore(&protocol, init, 5_000_000);
+    assert!(!r.truncated());
+    println!("reachable configurations (as multisets): {}", r.len());
+
+    let silent = r.silent_configs();
+    println!("absorbing configurations: {}", silent.len());
+    for s in &silent {
+        println!("  {}", configuration(s));
+        assert!(is_valid_ranking(s), "bad absorbing configuration!");
+    }
+    let stuck = r.count_cannot_reach(is_valid_ranking);
+    assert_eq!(stuck, 0);
+    println!(
+        "every one of the {} reachable configurations can reach the valid \
+         ranking — self-stabilization verified exhaustively ✓\n",
+        r.len()
+    );
+
+    // ---- The base protocol's hole, exhibited ----
+    let params = Params::new(4);
+    let base = SpaceEfficientRanking::new(&params, TournamentLe::for_n(4));
+    let init = vec![
+        SeState::Ranked(1),
+        SeState::Phase(1),
+        SeState::Phase(1),
+        SeState::Phase(1),
+    ];
+    let r = explore(&base, init, 1_000_000);
+    assert!(!r.truncated());
+    let stuck = r.configs_cannot_reach(is_valid_ranking);
+    println!(
+        "Base protocol (no error detection), n = 4, clean start: {} of {} \
+         reachable configurations are past the point of no return — all of \
+         them duplicate-rank states, e.g.:",
+        stuck.len(),
+        r.len()
+    );
+    let example = stuck
+        .iter()
+        .find(|c| has_duplicate_rank(c))
+        .expect("stuck set is nonempty");
+    println!("  {example:?}");
+    assert!(stuck.iter().all(|c| has_duplicate_rank(c)));
+    println!(
+        "this is the w.h.p. caveat of Theorem 1 made concrete — and the \
+         entire failure surface is duplicate ranks, which Ranking⁺ detects \
+         on contact (Protocol 4, line 1)."
+    );
+}

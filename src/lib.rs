@@ -1,0 +1,37 @@
+//! # silent-ranking
+//!
+//! A from-scratch Rust reproduction of *Silent Self-Stabilizing Ranking:
+//! Time Optimal and Space Efficient* (Berenbrink, Elsässer, Götte, Hintze,
+//! Kaaser; ICDCS 2025).
+//!
+//! This facade crate re-exports the whole workspace so downstream users and
+//! the examples can depend on a single crate:
+//!
+//! * [`population`] — the population-protocol simulation engine.
+//! * [`leader_election`] — leader-election substrates (the Protocol 5
+//!   lottery and the tournament substitute for the paper's black box).
+//! * [`ranking`] — the paper's protocols: `SpaceEfficientRanking`
+//!   (Theorem 1) and `StableRanking` (Theorem 2).
+//! * [`baselines`] — comparison protocols from the related-work section.
+//! * [`analysis`] — statistics and tail-bound helpers used by experiments.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use silent_ranking::population::{is_valid_ranking, Simulator};
+//! use silent_ranking::ranking::stable::StableRanking;
+//! use silent_ranking::ranking::Params;
+//!
+//! // 32 agents, arbitrary garbage initial configuration (self-stabilizing!)
+//! let protocol = StableRanking::new(Params::new(32));
+//! let init = protocol.adversarial_uniform(12345);
+//! let mut sim = Simulator::new(protocol, init, 1);
+//! let stop = sim.run_until(|s| is_valid_ranking(s), 50_000_000, 32);
+//! assert!(stop.converged_at().is_some());
+//! ```
+
+pub use analysis;
+pub use baselines;
+pub use leader_election;
+pub use population;
+pub use ranking;

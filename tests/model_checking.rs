@@ -1,0 +1,207 @@
+//! Exhaustive model checking of the ranking protocols at tiny population
+//! sizes: enumerate *every* reachable configuration (as a multiset) and
+//! verify the paper's two structural claims outright, with no sampling:
+//!
+//! 1. **Silence/closure**: every absorbing configuration is a valid
+//!    ranking — there is no "stuck but wrong" configuration.
+//! 2. **Probabilistic stabilization**: every reachable configuration has
+//!    a path into the legal set, which under the uniform scheduler means
+//!    stabilization with probability 1 (Section III's definition).
+
+use silent_ranking::baselines::cai::CaiRanking;
+use silent_ranking::baselines::naive::NaiveLeaderRanking;
+use silent_ranking::leader_election::tournament::TournamentLe;
+use silent_ranking::leader_election::LeaderElectionBehavior;
+use silent_ranking::population::modelcheck::explore;
+use silent_ranking::population::is_valid_ranking;
+use silent_ranking::ranking::space_efficient::{SeState, SpaceEfficientRanking};
+use silent_ranking::ranking::stable::StableRanking;
+use silent_ranking::ranking::Params;
+
+#[test]
+fn cai_protocol_exhaustive_n4() {
+    // All 4^4 = 256 configurations are reachable candidates; from the
+    // all-equal worst case, verify every absorbing configuration is a
+    // permutation and every reachable configuration can become one.
+    let protocol = CaiRanking::new(4);
+    let r = explore(&protocol, protocol.all_equal(), 100_000);
+    assert!(!r.truncated());
+    for silent in r.silent_configs() {
+        assert!(
+            is_valid_ranking(silent),
+            "absorbing non-permutation: {silent:?}"
+        );
+    }
+    assert!(
+        r.all_can_reach(is_valid_ranking),
+        "some reachable configuration cannot stabilize"
+    );
+}
+
+#[test]
+fn cai_protocol_exhaustive_from_every_single_start_n3() {
+    // Stronger: self-stabilization demands stabilization from *any*
+    // configuration. For n = 3 there are 3^3 = 27 (10 up to permutation);
+    // check them all.
+    let protocol = CaiRanking::new(3);
+    for a in 0..3u64 {
+        for b in 0..3u64 {
+            for c in 0..3u64 {
+                let init = vec![
+                    silent_ranking::baselines::cai::CaiState(a),
+                    silent_ranking::baselines::cai::CaiState(b),
+                    silent_ranking::baselines::cai::CaiState(c),
+                ];
+                let r = explore(&protocol, init, 10_000);
+                assert!(r.all_can_reach(is_valid_ranking));
+                for silent in r.silent_configs() {
+                    assert!(is_valid_ranking(silent));
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn naive_leader_ranking_exhaustive_n5() {
+    let protocol = NaiveLeaderRanking::new(5);
+    let r = explore(&protocol, protocol.initial(), 100_000);
+    assert!(!r.truncated());
+    // The assignment order is fixed (next = 2, 3, ...), so the reachable
+    // set is a chain of 5 configurations.
+    assert_eq!(r.len(), 5);
+    let silent = r.silent_configs();
+    assert_eq!(silent.len(), 1);
+    assert!(is_valid_ranking(silent[0]));
+    assert!(r.all_can_reach(is_valid_ranking));
+}
+
+#[test]
+fn base_ranking_main_phase_exhaustive_n4() {
+    // Protocol 2 from the initial ranking configuration C_{1,rank}
+    // (unaware leader with rank 1, everyone else phase 1). Theorem 1 is a
+    // *w.h.p.* statement, and exhaustive exploration exhibits its
+    // complement event concretely: if the leader's wait counter runs out
+    // before the phase epidemic reaches every agent, the reborn rank-1
+    // leader re-assigns ranks from the previous phase — duplicate ranks
+    // that the base protocol (no error detection!) absorbs silently.
+    // Lemma 6 bounds the probability of this path by O(n^{-γ}); here we
+    // verify its *structure*: the good path to the permutation always
+    // exists, every bad absorbing configuration carries a duplicate rank
+    // (never any other kind of damage), and no leader-election state is
+    // ever re-entered.
+    let params = Params::new(4);
+    let protocol = SpaceEfficientRanking::new(&params, TournamentLe::for_n(4));
+    let init = vec![
+        SeState::Ranked(1),
+        SeState::Phase(1),
+        SeState::Phase(1),
+        SeState::Phase(1),
+    ];
+    let r = explore(&protocol, init, 1_000_000);
+    assert!(!r.truncated());
+    for c in r.configs() {
+        assert!(
+            c.iter().all(|s| !matches!(s, SeState::Elect(_))),
+            "leader-election state reappeared in the main phase"
+        );
+    }
+    let mut valid_absorbing = 0;
+    for silent in r.silent_configs() {
+        if is_valid_ranking(silent) {
+            valid_absorbing += 1;
+        } else {
+            assert!(
+                silent_ranking::population::has_duplicate_rank(silent),
+                "bad absorbing configuration without a duplicate: {silent:?}"
+            );
+        }
+    }
+    assert!(valid_absorbing >= 1, "the permutation must be absorbing");
+    // The good path exists from the initial configuration (and from most
+    // of the graph); only the duplicate-absorbed tail cannot return.
+    let stuck = r.count_cannot_reach(is_valid_ranking);
+    assert!(stuck >= 1, "the w.h.p. caveat of Theorem 1 must be visible");
+    assert!(
+        stuck < r.len() / 2,
+        "failure region unexpectedly large: {stuck}/{}",
+        r.len()
+    );
+}
+
+#[test]
+fn base_ranking_failure_paths_all_carry_duplicates_n6() {
+    // Same exploration at n = 6: every reachable configuration either
+    // can still stabilize or contains a duplicate rank — i.e. the ONLY
+    // failure mode of Protocol 2 from a clean start is the duplicate-rank
+    // hazard that `Ranking⁺`'s line-1 detector (and the reset machinery)
+    // exists to catch. This is the structural justification for the
+    // self-stabilizing layer, verified exhaustively.
+    let params = Params::new(6);
+    let protocol = SpaceEfficientRanking::new(&params, TournamentLe::for_n(6));
+    let mut init = vec![SeState::Ranked(1)];
+    init.extend(std::iter::repeat_n(SeState::Phase(1), 5));
+    let r = explore(&protocol, init, 1_000_000);
+    assert!(!r.truncated());
+    let stuck = r.configs_cannot_reach(is_valid_ranking);
+    assert!(!stuck.is_empty(), "Theorem 1's w.h.p. caveat must be visible");
+    for c in &stuck {
+        assert!(
+            silent_ranking::population::has_duplicate_rank(c),
+            "configuration stuck without a duplicate rank: {c:?}"
+        );
+    }
+}
+
+#[test]
+fn stable_ranking_exhaustive_from_duplicate_ranks_n3() {
+    // The full Theorem 2 machine at n = 3, starting from the maximally
+    // broken all-same-rank configuration: the reachable graph includes
+    // error detection, the reset epidemic, dormancy, the lottery, and
+    // re-ranking — verify no bad absorbing configuration exists and the
+    // legal set is reachable from everywhere.
+    let protocol = StableRanking::new(Params::new(3));
+    let init = protocol.all_same_rank(2);
+    let r = explore(&protocol, init, 3_000_000);
+    assert!(!r.truncated(), "raise the cap");
+    for silent in r.silent_configs() {
+        assert!(
+            is_valid_ranking(silent),
+            "absorbing non-permutation: {silent:?}"
+        );
+    }
+    assert!(
+        r.all_can_reach(is_valid_ranking),
+        "{} of {} reachable configurations cannot stabilize",
+        r.count_cannot_reach(is_valid_ranking),
+        r.len()
+    );
+}
+
+#[test]
+fn stable_ranking_exhaustive_from_clean_start_n3() {
+    let protocol = StableRanking::new(Params::new(3));
+    let init = protocol.initial();
+    let r = explore(&protocol, init, 3_000_000);
+    assert!(!r.truncated(), "raise the cap");
+    for silent in r.silent_configs() {
+        assert!(is_valid_ranking(silent));
+    }
+    assert!(r.all_can_reach(is_valid_ranking));
+}
+
+#[test]
+fn tournament_le_exhaustive_always_leaves_a_leader_path_n3() {
+    // The substitute LE protocol: from the initial configuration, every
+    // reachable configuration can reach one with at least one leader and
+    // all agents done.
+    let le = TournamentLe { epochs: 3, epoch_len: 2 };
+    let protocol = silent_ranking::leader_election::LeaderElectionProtocol::new(le, 3);
+    let r = explore(&protocol, protocol.initial(), 2_000_000);
+    assert!(!r.truncated());
+    let goal = |c: &[_]| {
+        c.iter().all(|s| le.leader_done(s))
+            && c.iter().filter(|s| le.is_leader(s)).count() >= 1
+    };
+    assert!(r.all_can_reach(goal));
+}

