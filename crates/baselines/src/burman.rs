@@ -184,8 +184,7 @@ impl BurmanRanking {
     /// overhead — the `n + Ω(n)` shape of the comparison table.
     pub fn state_count(&self) -> u64 {
         let reset = (u64::from(self.r_max) + 1) * (u64::from(self.d_max) + 1);
-        let elect =
-            (u64::from(self.fast.l_max) + 1) * (u64::from(self.fast.coin_target) + 1) * 4;
+        let elect = (u64::from(self.fast.l_max) + 1) * (u64::from(self.fast.coin_target) + 1) * 4;
         let seek = u64::from(self.l_max) + 1;
         self.n as u64 + (self.n as u64 - 1) + 2 * (reset + elect + seek)
     }
@@ -524,8 +523,7 @@ mod tests {
             let mut sim = Simulator::new(p, init, seed);
             let budget = (8000.0 * (n * n) as f64 * (n as f64).log2()) as u64;
             let stop = sim.run_until(is_valid_ranking, budget, n as u64);
-            let ok = stop.converged_at().is_some()
-                && is_silent(sim.protocol(), sim.states());
+            let ok = stop.converged_at().is_some() && is_silent(sim.protocol(), sim.states());
             usize::from(!ok)
         })
         .into_iter()

@@ -51,10 +51,7 @@ impl CaiRanking {
         // irrelevant for a self-stabilizing protocol.
         (0..self.n as u64)
             .map(|i| {
-                CaiState(
-                    (i.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(seed))
-                        % self.n as u64,
-                )
+                CaiState((i.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(seed)) % self.n as u64)
             })
             .collect()
     }
@@ -120,8 +117,7 @@ mod tests {
                 // O(n³) expected; budget 50·n³.
                 let budget = 50 * (n as u64).pow(3);
                 let stop = sim.run_until(is_valid_ranking, budget, n as u64);
-                let ok = stop.converged_at().is_some()
-                    && is_silent(sim.protocol(), sim.states());
+                let ok = stop.converged_at().is_some() && is_silent(sim.protocol(), sim.states());
                 usize::from(!ok)
             })
             .into_iter()
@@ -153,13 +149,14 @@ mod tests {
         let p = CaiRanking::new(n);
         let mut sim = Simulator::new(p, CaiRanking::new(n).all_equal(), 3);
         let mut seen = std::collections::HashSet::new();
-        for _ in 0..2000 {
-            sim.step();
-            for s in sim.states() {
+        // Audit after every single interaction (check_every = 1).
+        let mut audit = population::observe::Sampler::new(|_, states: &[CaiState]| {
+            for s in states {
                 assert!(s.0 < n as u64, "state escaped [n]");
                 seen.insert(s.0);
             }
-        }
+        });
+        sim.run_observed(2000, 1, &mut audit);
         assert!(seen.len() <= n);
     }
 }

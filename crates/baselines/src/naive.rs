@@ -102,7 +102,11 @@ mod tests {
         let mut w = NaiveState::Unranked;
         p.transition(&mut u, &mut w);
         assert_eq!(w, NaiveState::Ranked(3));
-        assert_eq!(u, NaiveState::Ranked(1), "leader retires after the last rank");
+        assert_eq!(
+            u,
+            NaiveState::Ranked(1),
+            "leader retires after the last rank"
+        );
     }
 
     #[test]
@@ -127,8 +131,7 @@ mod tests {
                 let mut sim = Simulator::new(p, init, seed);
                 let budget = 100 * (n as u64).pow(2) * (n as f64).log2().ceil() as u64;
                 let stop = sim.run_until(is_valid_ranking, budget, n as u64);
-                let ok = stop.converged_at().is_some()
-                    && is_silent(sim.protocol(), sim.states());
+                let ok = stop.converged_at().is_some() && is_silent(sim.protocol(), sim.states());
                 usize::from(!ok)
             })
             .into_iter()

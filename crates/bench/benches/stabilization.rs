@@ -1,13 +1,14 @@
 //! End-to-end stabilization wall time at a small population size, across
 //! the implemented protocols. Complements the `bench` binaries (which
 //! report the interaction counts the paper uses) with a like-for-like
-//! wall-clock comparison of the implementations.
+//! wall-clock comparison of the implementations. Run with
+//! `cargo bench -p bench`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
 use baselines::burman::BurmanRanking;
 use baselines::naive::NaiveLeaderRanking;
+use bench::timing::time_runs;
 use leader_election::tournament::TournamentLe;
 use population::{is_valid_ranking, Simulator};
 use ranking::space_efficient::SpaceEfficientRanking;
@@ -20,72 +21,48 @@ fn budget() -> u64 {
     (8000.0 * (N * N) as f64 * (N as f64).log2()) as u64
 }
 
-fn bench_stable(c: &mut Criterion) {
+fn report(name: &str, mut run: impl FnMut(u64)) {
     let mut seed = 0;
-    c.bench_function("stabilize_stable_n64_adversarial", |b| {
-        b.iter(|| {
-            seed += 1;
-            let protocol = StableRanking::new(Params::new(N));
-            let init = protocol.adversarial_uniform(seed);
-            let mut sim = Simulator::new(protocol, init, seed);
-            let stop = sim.run_until(is_valid_ranking, budget(), N as u64);
-            black_box(stop.converged_at())
-        });
+    let t = time_runs(1, 10, || {
+        seed += 1;
+        run(seed);
+    });
+    println!(
+        "{name:<44} {:>9.3} ms/run  (median of {}, min {:.3} ms, max {:.3} ms)",
+        t.median_s * 1e3,
+        t.samples,
+        t.min_s * 1e3,
+        t.max_s * 1e3
+    );
+}
+
+fn main() {
+    report("stabilize_stable_n64_adversarial", |seed| {
+        let protocol = StableRanking::new(Params::new(N));
+        let init = protocol.adversarial_uniform(seed);
+        let mut sim = Simulator::new(protocol, init, seed);
+        let stop = sim.run_until(is_valid_ranking, budget(), N as u64);
+        black_box(stop.converged_at());
+    });
+    report("stabilize_space_efficient_n64", |seed| {
+        let protocol = SpaceEfficientRanking::new(&Params::new(N), TournamentLe::for_n(N));
+        let init = protocol.initial();
+        let mut sim = Simulator::new(protocol, init, seed);
+        let stop = sim.run_until(is_valid_ranking, budget(), N as u64);
+        black_box(stop.converged_at());
+    });
+    report("stabilize_burman_n64_adversarial", |seed| {
+        let protocol = BurmanRanking::new(N);
+        let init = protocol.adversarial(seed);
+        let mut sim = Simulator::new(protocol, init, seed);
+        let stop = sim.run_until(is_valid_ranking, budget(), N as u64);
+        black_box(stop.converged_at());
+    });
+    report("stabilize_naive_n64", |seed| {
+        let protocol = NaiveLeaderRanking::new(N);
+        let init = protocol.initial();
+        let mut sim = Simulator::new(protocol, init, seed);
+        let stop = sim.run_until(is_valid_ranking, budget(), N as u64);
+        black_box(stop.converged_at());
     });
 }
-
-fn bench_space_efficient(c: &mut Criterion) {
-    let mut seed = 0;
-    c.bench_function("stabilize_space_efficient_n64", |b| {
-        b.iter(|| {
-            seed += 1;
-            let protocol = SpaceEfficientRanking::new(&Params::new(N), TournamentLe::for_n(N));
-            let init = protocol.initial();
-            let mut sim = Simulator::new(protocol, init, seed);
-            let stop = sim.run_until(is_valid_ranking, budget(), N as u64);
-            black_box(stop.converged_at())
-        });
-    });
-}
-
-fn bench_burman(c: &mut Criterion) {
-    let mut seed = 0;
-    c.bench_function("stabilize_burman_n64_adversarial", |b| {
-        b.iter(|| {
-            seed += 1;
-            let protocol = BurmanRanking::new(N);
-            let init = protocol.adversarial(seed);
-            let mut sim = Simulator::new(protocol, init, seed);
-            let stop = sim.run_until(is_valid_ranking, budget(), N as u64);
-            black_box(stop.converged_at())
-        });
-    });
-}
-
-fn bench_naive(c: &mut Criterion) {
-    let mut seed = 0;
-    c.bench_function("stabilize_naive_n64", |b| {
-        b.iter(|| {
-            seed += 1;
-            let protocol = NaiveLeaderRanking::new(N);
-            let init = protocol.initial();
-            let mut sim = Simulator::new(protocol, init, seed);
-            let stop = sim.run_until(is_valid_ranking, budget(), N as u64);
-            black_box(stop.converged_at())
-        });
-    });
-}
-
-fn config() -> Criterion {
-    Criterion::default()
-        .sample_size(10)
-        .measurement_time(std::time::Duration::from_secs(5))
-        .warm_up_time(std::time::Duration::from_millis(500))
-}
-
-criterion_group! {
-    name = benches;
-    config = config();
-    targets = bench_stable, bench_space_efficient, bench_burman, bench_naive
-}
-criterion_main!(benches);

@@ -12,17 +12,22 @@
 //!   configurations.
 //!
 //! Usage: `cargo run --release -p bench --bin ablation -- [n=128]
-//! [sims=5]`
+//! [sims=5] [--csv]`
 
 use analysis::stats::Summary;
-use bench::{f3, print_table, Args};
-use population::runner::run_seed_range;
+use bench::{f3, Experiment, Table};
 use population::{is_valid_ranking, Simulator};
 use ranking::stable::StableRanking;
 use ranking::Params;
 
-fn run_config(n: usize, c_wait: f64, c_live: f64, sims: u64) -> (Option<Summary>, f64, u64) {
-    let results = run_seed_range(sims, |seed| {
+fn run_config(
+    exp: &Experiment,
+    n: usize,
+    c_wait: f64,
+    c_live: f64,
+    sims: u64,
+) -> (Option<Summary>, f64, u64) {
+    let results = exp.run_seeds(sims, |seed| {
         let params = Params::new(n).with_c_wait(c_wait).with_c_live(c_live);
         let protocol = StableRanking::new(params);
         let init = protocol.initial();
@@ -51,35 +56,13 @@ fn run_config(n: usize, c_wait: f64, c_live: f64, sims: u64) -> (Option<Summary>
 }
 
 fn main() {
-    let args = Args::from_env();
-    let n: usize = args.get("n", 128);
-    let sims: u64 = args.get("sims", 5);
+    let exp = Experiment::from_env("ablation");
+    let n: usize = exp.get("n", 128);
+    let sims = exp.sims(5);
     let norm = (n * n) as f64 * (n as f64).log2();
 
-    let mut rows = Vec::new();
-    for c_wait in [0.5, 1.0, 2.0, 4.0] {
-        let (s, fail, resets) = run_config(n, c_wait, 4.0, sims);
-        rows.push(vec![
-            f3(c_wait),
-            "4.0".to_string(),
-            s.map(|s| f3(s.mean / norm)).unwrap_or_else(|| "-".into()),
-            f3(fail),
-            resets.to_string(),
-        ]);
-    }
-    for c_live in [2.5, 3.0, 8.0] {
-        let (s, fail, resets) = run_config(n, 2.0, c_live, sims);
-        rows.push(vec![
-            "2.0".to_string(),
-            f3(c_live),
-            s.map(|s| f3(s.mean / norm)).unwrap_or_else(|| "-".into()),
-            f3(fail),
-            resets.to_string(),
-        ]);
-    }
-
-    print_table(
-        &format!("Ablation at n = {n} ({sims} sims, clean start)"),
+    let mut table = Table::new(
+        format!("Ablation at n = {n} ({sims} sims, clean start)"),
         &[
             "c_wait",
             "c_live",
@@ -87,12 +70,24 @@ fn main() {
             "fail rate",
             "resets/run",
         ],
-        &rows,
     );
-    println!(
+    let mut configs: Vec<(f64, f64)> = [0.5, 1.0, 2.0, 4.0].map(|w| (w, 4.0)).to_vec();
+    configs.extend([2.5, 3.0, 8.0].map(|l| (2.0, l)));
+    for (c_wait, c_live) in configs {
+        let (s, fail, resets) = run_config(&exp, n, c_wait, c_live, sims);
+        table.push(vec![
+            f3(c_wait),
+            f3(c_live),
+            s.map(|s| f3(s.mean / norm)).unwrap_or_else(|| "-".into()),
+            f3(fail),
+            resets.to_string(),
+        ]);
+    }
+    exp.emit(&table);
+    exp.note(
         "\nexpected shape: small c_wait => premature unaware leaders => \
          duplicate ranks => extra resets and slower stabilization; small \
          c_live => lottery timeouts and spurious liveness resets (more \
-         resets/run); the paper's (2, 4) sits in the efficient region."
+         resets/run); the paper's (2, 4) sits in the efficient region.",
     );
 }

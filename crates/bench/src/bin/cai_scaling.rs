@@ -5,34 +5,37 @@
 //! permutation and fit `T = a·n^b`: the exponent should land near 3,
 //! versus ≈ 2.1–2.3 for the paper's protocols (cf. `table_comparison`).
 //!
-//! Usage: `cargo run --release -p bench --bin cai_scaling -- [sims=10]`
+//! Usage: `cargo run --release -p bench --bin cai_scaling -- [sims=10]
+//! [--csv]`
 
 use analysis::fit::power_fit;
-use analysis::stats::Summary;
 use baselines::cai::CaiRanking;
-use bench::{f3, print_table, Args};
-use population::runner::run_seed_range;
-use population::{is_valid_ranking, Simulator};
+use bench::measure::{ranking_times, summary};
+use bench::{f3, Experiment, Table};
 
 fn main() {
-    let args = Args::from_env();
-    let sims: u64 = args.get("sims", 10);
+    let exp = Experiment::from_env("cai_scaling");
+    let sims = exp.sims(10);
 
-    let mut rows = Vec::new();
+    let mut table = Table::new(
+        format!("Cai et al. convergence from all-equal, unit n^3 ({sims} sims)"),
+        &["n", "mean/n^3", "median/n^3", "max/n^3"],
+    );
     let mut points = Vec::new();
     for n in [8usize, 16, 32, 64, 128] {
-        let times: Vec<f64> = run_seed_range(sims, |seed| {
+        let budget = 400 * (n as u64).pow(3);
+        let times = ranking_times(&exp, sims, budget, n as u64, |_| {
             let protocol = CaiRanking::new(n);
             let init = protocol.all_equal();
-            let mut sim = Simulator::new(protocol, init, seed);
-            let budget = 400 * (n as u64).pow(3);
-            sim.run_until(is_valid_ranking, budget, n as u64)
-                .converged_at()
-                .expect("Cai protocol must converge") as f64
+            (protocol, init)
         });
-        let s = Summary::of(&times);
+        assert!(
+            times.iter().all(|t| t.is_some()),
+            "Cai protocol must converge within budget"
+        );
+        let s = summary(&times).expect("all runs completed");
         points.push((n as f64, s.mean));
-        rows.push(vec![
+        table.push(vec![
             n.to_string(),
             f3(s.mean / (n as f64).powi(3)),
             f3(s.median / (n as f64).powi(3)),
@@ -40,15 +43,11 @@ fn main() {
         ]);
     }
 
-    print_table(
-        &format!("Cai et al. convergence from all-equal, unit n^3 ({sims} sims)"),
-        &["n", "mean/n^3", "median/n^3", "max/n^3"],
-        &rows,
-    );
+    exp.emit(&table);
     let fit = power_fit(&points);
-    println!(
+    exp.note(&format!(
         "\npower fit: T ~ {:.3} * n^{:.3} (R^2 = {:.4})",
         fit.a, fit.b, fit.r_squared
-    );
-    println!("expected shape: exponent near 3; normalized values roughly flat.");
+    ));
+    exp.note("expected shape: exponent near 3; normalized values roughly flat.");
 }

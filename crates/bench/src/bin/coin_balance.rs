@@ -12,43 +12,55 @@
 //! the bias sits exactly at the band edge — we report both horizons
 //! (`t₀ = n·log₂(4·log₂ n)/2` and `4t₀`) to make the effect visible.
 //!
-//! Usage: `cargo run --release -p bench --bin coin_balance -- [sims=50]`
+//! Usage: `cargo run --release -p bench --bin coin_balance -- [sims=50]
+//! [--csv]`
 
 use analysis::stats::Summary;
-use bench::{f3, print_table, Args};
+use bench::{f3, Experiment, Table};
 use population::primitives::coin::CoinPopulation;
-use population::runner::run_seed_range;
 use population::Simulator;
 
-fn measure(n: usize, warmup: u64, sims: u64) -> (Summary, usize) {
-    let band = (n as f64) / 2.0 / (4.0 * (n as f64).ln());
-    let (devs, inside): (Vec<f64>, Vec<bool>) = run_seed_range(sims, |seed| {
-        let protocol = CoinPopulation::new(n);
-        let init = protocol.all_tails();
-        let mut sim = Simulator::new(protocol, init, seed);
-        sim.run(warmup);
-        let heads = CoinPopulation::heads_count(sim.states()) as f64;
-        let dev = (heads - n as f64 / 2.0).abs();
-        (dev, dev <= band)
-    })
-    .into_iter()
-    .unzip();
+fn measure(exp: &Experiment, n: usize, warmup: u64, sims: u64, band: f64) -> (Summary, usize) {
+    let (devs, inside): (Vec<f64>, Vec<bool>) = exp
+        .run_seeds(sims, |seed| {
+            let protocol = CoinPopulation::new(n);
+            let init = protocol.all_tails();
+            let mut sim = Simulator::new(protocol, init, seed);
+            sim.run(warmup);
+            let heads = CoinPopulation::heads_count(sim.states()) as f64;
+            let dev = (heads - n as f64 / 2.0).abs();
+            (dev, dev <= band)
+        })
+        .into_iter()
+        .unzip();
     (Summary::of(&devs), inside.iter().filter(|b| **b).count())
 }
 
 fn main() {
-    let args = Args::from_env();
-    let sims: u64 = args.get("sims", 50);
+    let exp = Experiment::from_env("coin_balance");
+    let sims = exp.sims(50);
 
-    let mut rows = Vec::new();
+    let mut table = Table::new(
+        format!("Lemma 28: coin deviation from n/2 (all-tails start, {sims} sims)"),
+        &[
+            "n",
+            "horizon",
+            "t",
+            "band n/(8 ln n)",
+            "residual bias",
+            "mean |dev|",
+            "max |dev|",
+            "within band",
+        ],
+    );
     for n in [256usize, 1024, 4096, 16384] {
         let log2n = (n as f64).log2();
         let t0 = ((n as f64) * (4.0 * log2n).log2() / 2.0).ceil() as u64;
         let band = (n as f64) / 2.0 / (4.0 * (n as f64).ln());
         for (label, warmup) in [("t0", t0), ("4*t0", 4 * t0)] {
-            let (s, in_band) = measure(n, warmup, sims);
+            let (s, in_band) = measure(&exp, n, warmup, sims, band);
             let bias = (-2.0 * warmup as f64 / n as f64).exp() * n as f64 / 2.0;
-            rows.push(vec![
+            table.push(vec![
                 n.to_string(),
                 label.to_string(),
                 warmup.to_string(),
@@ -61,25 +73,12 @@ fn main() {
         }
     }
 
-    print_table(
-        &format!("Lemma 28: coin deviation from n/2 (all-tails start, {sims} sims)"),
-        &[
-            "n",
-            "horizon",
-            "t",
-            "band n/(8 ln n)",
-            "residual bias",
-            "mean |dev|",
-            "max |dev|",
-            "within band",
-        ],
-        &rows,
-    );
-    println!(
+    exp.emit(&table);
+    exp.note(
         "\nexpected shape: the residual bias e^(-2t/n)*n/2 shrinks with the \
          warm-up while the sqrt(n) fluctuation stays; at 4*t0 the bias is \
          negligible and the in-band fraction approaches 1 for large n \
          (band/sqrt(n) grows). The protocol's dormancy period D_max = \
-         Theta(log n) per agent corresponds to the 4*t0 regime."
+         Theta(log n) per agent corresponds to the 4*t0 regime.",
     );
 }

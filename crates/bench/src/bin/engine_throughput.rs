@@ -1,0 +1,148 @@
+//! Engine throughput: scalar stepping vs the batched hot path.
+//!
+//! Measures interactions/second of [`Simulator::step`] in a loop (the
+//! reference execution path) against [`Simulator::run_batched`] (the
+//! block-sampling hot path), over `n ∈ {10³, 10⁴, 10⁵}`, for an
+//! engine-bound protocol (the one-way epidemic, whose transition is a
+//! two-byte compare) and the paper's `StableRanking` (whose transition
+//! dominates, bounding the achievable engine speedup). Both paths
+//! execute the identical trajectory, so this is a pure engine
+//! comparison.
+//!
+//! Writes `BENCH_engine.json` (override with `out=`) so later
+//! performance work has a recorded trajectory to beat.
+//!
+//! Usage: `cargo run --release -p bench --bin engine_throughput --
+//! [interactions=20000000] [samples=5] [out=BENCH_engine.json] [--csv]`
+
+use bench::timing::time_runs;
+use bench::{f3, Experiment, Json, Table};
+use population::primitives::epidemic::Epidemic;
+use population::{Protocol, Simulator};
+use ranking::stable::StableRanking;
+use ranking::Params;
+
+struct Measurement {
+    protocol: &'static str,
+    n: usize,
+    interactions: u64,
+    scalar_ips: f64,
+    batched_ips: f64,
+}
+
+impl Measurement {
+    fn speedup(&self) -> f64 {
+        self.batched_ips / self.scalar_ips
+    }
+}
+
+fn measure<P, F>(
+    name: &'static str,
+    n: usize,
+    interactions: u64,
+    samples: usize,
+    make: F,
+) -> Measurement
+where
+    P: Protocol,
+    F: Fn() -> (P, Vec<P::State>),
+{
+    let (protocol, init) = make();
+    let mut sim = Simulator::new(protocol, init, 7);
+    let scalar = time_runs(1, samples, || {
+        for _ in 0..interactions {
+            sim.step();
+        }
+    });
+
+    let (protocol, init) = make();
+    let mut sim = Simulator::new(protocol, init, 7);
+    let batched = time_runs(1, samples, || {
+        sim.run_batched(interactions);
+    });
+
+    Measurement {
+        protocol: name,
+        n,
+        interactions,
+        scalar_ips: scalar.per_second(interactions as f64),
+        batched_ips: batched.per_second(interactions as f64),
+    }
+}
+
+fn main() {
+    let exp = Experiment::from_env("engine_throughput");
+    let interactions: u64 = exp.get("interactions", 20_000_000);
+    let samples: usize = exp.get("samples", 5);
+    let sizes = [1_000usize, 10_000, 100_000];
+
+    let mut results = Vec::new();
+    for &n in &sizes {
+        results.push(measure("epidemic", n, interactions, samples, || {
+            let p = Epidemic::new(n);
+            let init = p.initial(n);
+            (p, init)
+        }));
+        // StableRanking transitions are ~10× heavier than the engine
+        // overhead, so its speedup bounds what protocol-heavy workloads
+        // see; fewer interactions keep the run short.
+        results.push(measure(
+            "stable_ranking",
+            n,
+            interactions / 4,
+            samples,
+            || {
+                let p = StableRanking::new(Params::new(n));
+                let init = p.initial();
+                (p, init)
+            },
+        ));
+    }
+
+    let mut table = Table::new(
+        format!("Engine throughput, median of {samples} runs"),
+        &["protocol", "n", "scalar M/s", "batched M/s", "speedup"],
+    );
+    for m in &results {
+        table.push(vec![
+            m.protocol.to_string(),
+            m.n.to_string(),
+            f3(m.scalar_ips / 1e6),
+            f3(m.batched_ips / 1e6),
+            f3(m.speedup()),
+        ]);
+    }
+    exp.emit(&table);
+
+    let payload = Json::obj([
+        ("samples", samples.into()),
+        (
+            "measurements",
+            Json::Arr(
+                results
+                    .iter()
+                    .map(|m| {
+                        Json::obj([
+                            ("protocol", m.protocol.into()),
+                            ("n", m.n.into()),
+                            ("interactions_per_sample", m.interactions.into()),
+                            ("scalar_interactions_per_sec", m.scalar_ips.into()),
+                            ("batched_interactions_per_sec", m.batched_ips.into()),
+                            ("speedup", m.speedup().into()),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ]);
+    exp.write_json("BENCH_engine.json", payload);
+
+    let engine_bound = results
+        .iter()
+        .find(|m| m.protocol == "epidemic" && m.n == 100_000)
+        .expect("n=1e5 epidemic measured");
+    exp.note(&format!(
+        "engine-bound speedup at n = 1e5: {:.2}x (target: >= 1.5x)",
+        engine_bound.speedup()
+    ));
+}

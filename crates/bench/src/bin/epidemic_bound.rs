@@ -10,24 +10,32 @@
 //! phase).
 //!
 //! Usage: `cargo run --release -p bench --bin epidemic_bound -- [n=1024]
-//! [sims=20]`
+//! [sims=20] [--csv]`
 
 use analysis::bounds::owe_upper;
 use analysis::stats::{quantile, Summary};
-use bench::{f3, print_table, Args};
+use bench::{f3, Experiment, Table};
 use population::primitives::epidemic::Epidemic;
-use population::runner::run_seed_range;
 use population::Simulator;
 
 fn main() {
-    let args = Args::from_env();
-    let n: usize = args.get("n", 1024);
-    let sims: u64 = args.get("sims", 20);
+    let exp = Experiment::from_env("epidemic_bound");
+    let n: usize = exp.get("n", 1024);
+    let sims = exp.sims(20);
 
-    let mut rows = Vec::new();
+    let mut table = Table::new(
+        format!("Lemma 14: OWE(n={n}, m) completion times, unit n^2/m ({sims} sims)"),
+        &[
+            "m",
+            "mean*m/n^2",
+            "p95*m/n^2",
+            "bound*m/n^2 (gamma=1)",
+            "max/bound",
+        ],
+    );
     let mut m = 4usize;
     while m <= n {
-        let times: Vec<f64> = run_seed_range(sims, |seed| {
+        let times: Vec<f64> = exp.run_seeds(sims, |seed| {
             let protocol = Epidemic::new(n);
             let init = protocol.initial(m);
             let mut sim = Simulator::new(protocol, init, seed);
@@ -39,7 +47,7 @@ fn main() {
         let s = Summary::of(&times);
         let p95 = quantile(&times, 0.95);
         let bound = owe_upper(n as f64, m as f64, 1.0);
-        rows.push(vec![
+        table.push(vec![
             m.to_string(),
             f3(s.mean / (n * n) as f64 * m as f64),
             f3(p95 / (n * n) as f64 * m as f64),
@@ -49,22 +57,10 @@ fn main() {
         m *= 4;
     }
 
-    print_table(
-        &format!(
-            "Lemma 14: OWE(n={n}, m) completion times, unit n^2/m ({sims} sims)"
-        ),
-        &[
-            "m",
-            "mean*m/n^2",
-            "p95*m/n^2",
-            "bound*m/n^2 (gamma=1)",
-            "max/bound",
-        ],
-        &rows,
-    );
-    println!(
+    exp.emit(&table);
+    exp.note(
         "\nexpected shape: mean*m/n^2 grows like ln(m) (the epidemic among m \
          agents costs ~(n^2/m)*ln m); every max stays below the Lemma 14 \
-         bound (max/bound < 1)."
+         bound (max/bound < 1).",
     );
 }

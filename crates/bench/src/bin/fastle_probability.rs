@@ -10,35 +10,33 @@
 //! duplicates — both paths are exercised by the `StableRanking` tests.
 //!
 //! Usage: `cargo run --release -p bench --bin fastle_probability --
-//! [trials=1000]`
+//! [trials=1000] [--csv]`
 
-use bench::{f3, print_table, Args};
+use bench::{f3, Experiment, Table};
 use leader_election::fast::FastLeLottery;
-use population::runner::run_seed_range;
 use population::Simulator;
 
 fn main() {
-    let args = Args::from_env();
-    let trials: u64 = args.get("trials", 1000);
+    let exp = Experiment::from_env("fastle_probability");
+    let trials: u64 = exp.get("trials", 1000);
 
-    let mut rows = Vec::new();
+    let mut table = Table::new(
+        format!("Lemma 30: FastLeaderElection outcomes over {trials} trials"),
+        &["n", "P[unique]", "P[none]", "P[multiple]", "E[winners]"],
+    );
     for n in [64usize, 256, 1024] {
-        let winners: Vec<usize> = run_seed_range(trials, |seed| {
+        let winners: Vec<usize> = exp.run_seeds(trials, |seed| {
             let protocol = FastLeLottery::new(n, 4.0);
             let init = protocol.initial();
             let mut sim = Simulator::new(protocol, init, seed);
-            sim.run_until(
-                FastLeLottery::all_decided,
-                10_000 * n as u64,
-                n as u64,
-            );
+            sim.run_until(FastLeLottery::all_decided, 10_000 * n as u64, n as u64);
             FastLeLottery::winner_count(sim.states())
         });
         let unique = winners.iter().filter(|w| **w == 1).count();
         let zero = winners.iter().filter(|w| **w == 0).count();
         let multi = winners.iter().filter(|w| **w > 1).count();
         let mean = winners.iter().sum::<usize>() as f64 / trials as f64;
-        rows.push(vec![
+        table.push(vec![
             n.to_string(),
             f3(unique as f64 / trials as f64),
             f3(zero as f64 / trials as f64),
@@ -47,14 +45,10 @@ fn main() {
         ]);
     }
 
-    print_table(
-        &format!("Lemma 30: FastLeaderElection outcomes over {trials} trials"),
-        &["n", "P[unique]", "P[none]", "P[multiple]", "E[winners]"],
-        &rows,
-    );
-    println!(
+    exp.emit(&table);
+    exp.note(&format!(
         "\nexpected shape: P[unique] well above the 1/(8e) = {:.3} bound and \
          roughly constant in n; E[winners] = Theta(1).",
         1.0 / (8.0 * std::f64::consts::E)
-    );
+    ));
 }

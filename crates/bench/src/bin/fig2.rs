@@ -11,17 +11,36 @@
 //! Usage: `cargo run --release -p bench --bin fig2 -- [n=256] [seed=1]
 //! [horizon=60] [samples=120] [--csv]`
 
-use bench::{f3, print_csv, print_table, Args};
+use bench::{f3, Experiment, Table};
+use population::observe::Series;
 use population::{ranked_count, Simulator};
-use ranking::stable::StableRanking;
+use ranking::stable::{StableRanking, StableState};
 use ranking::Params;
 
+/// Ranked count and mean phase of the phase agents, one Figure 2 sample.
+fn composition(states: &[StableState]) -> (usize, f64) {
+    let ranked = ranked_count(states);
+    let (phase_sum, phase_agents) =
+        states
+            .iter()
+            .fold((0u64, 0u64), |(s, c), st| match st.phase() {
+                Some(k) => (s + u64::from(k), c + 1),
+                None => (s, c),
+            });
+    let avg_phase = if phase_agents > 0 {
+        phase_sum as f64 / phase_agents as f64
+    } else {
+        0.0
+    };
+    (ranked, avg_phase)
+}
+
 fn main() {
-    let args = Args::from_env();
-    let n: usize = args.get("n", 256);
-    let seed: u64 = args.get("seed", 1);
-    let horizon_n2: u64 = args.get("horizon", 60);
-    let samples: u64 = args.get("samples", 120);
+    let exp = Experiment::from_env("fig2");
+    let n: usize = exp.get("n", 256);
+    let seed: u64 = exp.get("seed", 1);
+    let horizon_n2: u64 = exp.get("horizon", 60);
+    let samples: u64 = exp.get("samples", 120);
 
     let protocol = StableRanking::new(Params::new(n));
     let init = protocol.figure2();
@@ -29,50 +48,35 @@ fn main() {
 
     let horizon = horizon_n2 * (n as u64) * (n as u64);
     let every = (horizon / samples).max(1);
-    let mut rows = Vec::new();
-    sim.run_sampled(horizon, every, |t, states| {
-        let ranked = ranked_count(states);
-        let (phase_sum, phase_agents) = states.iter().fold((0u64, 0u64), |(s, c), st| {
-            match st.phase() {
-                Some(k) => (s + u64::from(k), c + 1),
-                None => (s, c),
-            }
-        });
-        let avg_phase = if phase_agents > 0 {
-            phase_sum as f64 / phase_agents as f64
-        } else {
-            0.0
-        };
-        rows.push(vec![
+    let mut series = Series::new(composition);
+    sim.run_observed(horizon, every, &mut series);
+
+    let mut table = Table::new(
+        format!("Figure 2: StableRanking recovery, n = {n}, seed = {seed}"),
+        &["interactions/n^2", "ranked agents", "avg phase (unranked)"],
+    );
+    for &(t, (ranked, avg_phase)) in series.rows() {
+        table.push(vec![
             f3(t as f64 / (n * n) as f64),
             ranked.to_string(),
             f3(avg_phase),
         ]);
-    });
-
-    let headers = ["interactions/n^2", "ranked agents", "avg phase (unranked)"];
-    if args.flag("csv") {
-        print_csv(&headers, &rows);
-    } else {
-        print_table(
-            &format!("Figure 2: StableRanking recovery, n = {n}, seed = {seed}"),
-            &headers,
-            &rows,
-        );
-        println!(
-            "\nresets triggered: {}",
-            sim.protocol().resets_triggered()
-        );
-        println!(
-            "final ranked agents: {} / {n}",
-            ranked_count(sim.states())
-        );
-        println!(
-            "expected shape (paper): plateau at {} ranked, drop to 0 after the \
-             duplicate is detected, then a ramp back to {n} with the phase \
-             staircase climbing to {}",
-            n - 1,
-            sim.protocol().fseq().kmax()
-        );
     }
+    exp.emit(&table);
+
+    exp.note(&format!(
+        "\nresets triggered: {}",
+        sim.protocol().resets_triggered()
+    ));
+    exp.note(&format!(
+        "final ranked agents: {} / {n}",
+        ranked_count(sim.states())
+    ));
+    exp.note(&format!(
+        "expected shape (paper): plateau at {} ranked, drop to 0 after the \
+         duplicate is detected, then a ramp back to {n} with the phase \
+         staircase climbing to {}",
+        n - 1,
+        sim.protocol().fseq().kmax()
+    ));
 }

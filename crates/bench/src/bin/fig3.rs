@@ -17,8 +17,8 @@
 //! [--csv]`
 
 use analysis::stats::Summary;
-use bench::{f3, print_csv, print_table, Args};
-use population::runner::run_seed_range;
+use bench::{f3, Experiment, Table};
+use population::observe::Thresholds;
 use population::{ranked_count, Simulator};
 use ranking::stable::StableRanking;
 use ranking::Params;
@@ -31,43 +31,43 @@ const FRACTIONS: [(u64, u64, &str); 4] = [
 ];
 
 fn main() {
-    let args = Args::from_env();
-    let full = args.flag("full");
-    let sims: u64 = args.get("sims", if full { 100 } else { 25 });
-    let max_exp: u32 = args.get("max_exp", if full { 13 } else { 10 });
-    let min_exp: u32 = args.get("min_exp", 7);
+    let exp = Experiment::from_env("fig3");
+    let full = exp.flag("full");
+    let sims = exp.sims(if full { 100 } else { 25 });
+    let max_exp: u32 = exp.get("max_exp", if full { 13 } else { 10 });
+    let min_exp: u32 = exp.get("min_exp", 7);
 
-    let mut rows = Vec::new();
-    for exp in min_exp..=max_exp {
-        let n = 1usize << exp;
-        let thresholds: Vec<u64> = FRACTIONS
+    let mut table = Table::new(
+        format!("Figure 3: interactions/n^2 to rank c*n agents ({sims} sims)"),
+        &[
+            "n",
+            "fraction",
+            "mean t/n^2",
+            "median",
+            "min",
+            "max",
+            "completed",
+        ],
+    );
+    for exp2 in min_exp..=max_exp {
+        let n = 1usize << exp2;
+        let targets: Vec<u64> = FRACTIONS
             .iter()
             .map(|(num, den, _)| (n as u64) * num / den)
             .collect();
 
-        // Each simulation returns the crossing time (interactions) for
+        // Each simulation observes the crossing time (interactions) of
         // each fraction, or None if the budget ran out (e.g. a rare
         // reset).
-        let results = run_seed_range(sims, |seed| {
+        let results = exp.run_seeds(sims, |seed| {
             let protocol = StableRanking::new(Params::new(n));
             let init = protocol.figure3();
             let mut sim = Simulator::new(protocol, init, seed);
             let budget = 60 * (n as u64) * (n as u64);
-            let mut crossings: Vec<Option<u64>> = vec![None; thresholds.len()];
             let check = (n as u64).max(64);
-            while sim.interactions() < budget {
-                sim.run(check);
-                let ranked = ranked_count(sim.states()) as u64;
-                for (i, &th) in thresholds.iter().enumerate() {
-                    if crossings[i].is_none() && ranked >= th {
-                        crossings[i] = Some(sim.interactions());
-                    }
-                }
-                if crossings.iter().all(|c| c.is_some()) {
-                    break;
-                }
-            }
-            crossings
+            let mut crossings = Thresholds::new(|s: &[_]| ranked_count(s) as u64, targets.clone());
+            sim.run_observed(budget, check, &mut crossings);
+            crossings.into_crossings()
         });
 
         for (i, (_, _, label)) in FRACTIONS.iter().enumerate() {
@@ -80,7 +80,7 @@ fn main() {
                 continue;
             }
             let s = Summary::of(&times);
-            rows.push(vec![
+            table.push(vec![
                 n.to_string(),
                 (*label).to_string(),
                 f3(s.mean),
@@ -92,27 +92,10 @@ fn main() {
         }
     }
 
-    let headers = [
-        "n",
-        "fraction",
-        "mean t/n^2",
-        "median",
-        "min",
-        "max",
-        "completed",
-    ];
-    if args.flag("csv") {
-        print_csv(&headers, &rows);
-    } else {
-        print_table(
-            &format!("Figure 3: interactions/n^2 to rank c*n agents ({sims} sims)"),
-            &headers,
-            &rows,
-        );
-        println!(
-            "\nexpected shape (paper): values roughly flat in n per fraction; \
-             1/2 around 2-4, 15/16 around 6-10, successive fractions roughly \
-             equally spaced (coupon-collector behaviour)."
-        );
-    }
+    exp.emit(&table);
+    exp.note(
+        "\nexpected shape (paper): values roughly flat in n per fraction; \
+         1/2 around 2-4, 15/16 around 6-10, successive fractions roughly \
+         equally spaced (coupon-collector behaviour).",
+    );
 }

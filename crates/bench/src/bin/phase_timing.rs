@@ -11,21 +11,21 @@
 //! tail.
 //!
 //! Usage: `cargo run --release -p bench --bin phase_timing -- [n=256]
-//! [sims=10]`
+//! [sims=10] [--csv]`
 
 use analysis::bounds::{rank_phase_upper, wait_phase_upper};
 use analysis::stats::Summary;
-use bench::{f3, print_table, Args};
+use bench::{f3, Experiment, Table};
 use leader_election::tournament::TournamentLe;
-use population::runner::run_seed_range;
+use population::observe::Thresholds;
 use population::{ranked_count, Simulator};
 use ranking::space_efficient::SpaceEfficientRanking;
 use ranking::Params;
 
 fn main() {
-    let args = Args::from_env();
-    let n: usize = args.get("n", 256);
-    let sims: u64 = args.get("sims", 10);
+    let exp = Experiment::from_env("phase_timing");
+    let n: usize = exp.get("n", 256);
+    let sims = exp.sims(10);
 
     let params = Params::new(n);
     let fseq = params.fseq();
@@ -37,28 +37,27 @@ fn main() {
     // is "all ranks > f_{k+1} assigned": ranked ≥ n − f_{k+1}.
     let targets: Vec<u64> = (1..=kmax).map(|k| n as u64 - fseq.f(k + 1)).collect();
 
-    let per_run = run_seed_range(sims, |seed| {
+    let per_run = exp.run_seeds(sims, |seed| {
         let p = SpaceEfficientRanking::new(&Params::new(n), TournamentLe::for_n(n));
         let init = p.initial();
         let mut sim = Simulator::new(p, init, seed);
         let budget = 500 * (n as u64) * (n as u64);
-        let mut crossings: Vec<Option<u64>> = vec![None; targets.len()];
-        while sim.interactions() < budget {
-            sim.run(n as u64);
-            let ranked = ranked_count(sim.states()) as u64;
-            for (i, &t) in targets.iter().enumerate() {
-                if crossings[i].is_none() && ranked >= t {
-                    crossings[i] = Some(sim.interactions());
-                }
-            }
-            if crossings.iter().all(|c| c.is_some()) {
-                break;
-            }
-        }
-        crossings
+        let mut crossings = Thresholds::new(|s: &[_]| ranked_count(s) as u64, targets.clone());
+        sim.run_observed(budget, n as u64, &mut crossings);
+        crossings.into_crossings()
     });
 
-    let mut rows = Vec::new();
+    let mut table = Table::new(
+        format!("Lemmas 6+7: phase durations for n = {n} ({sims} sims), unit n^2"),
+        &[
+            "phase k",
+            "ranks",
+            "mean/n^2",
+            "median/n^2",
+            "bound/n^2 (gamma=1)",
+            "mean/bound",
+        ],
+    );
     for k in 1..=kmax {
         let idx = (k - 1) as usize;
         let durations: Vec<f64> = per_run
@@ -75,7 +74,7 @@ fn main() {
         let s = Summary::of(&durations);
         let bound =
             wait_phase_upper(n as f64, k, params.c_wait, 1.0) + rank_phase_upper(n as f64, k, 1.0);
-        rows.push(vec![
+        table.push(vec![
             k.to_string(),
             fseq.phase_ranks(k).start().to_string() + "-" + &fseq.phase_ranks(k).end().to_string(),
             f3(s.mean / (n * n) as f64),
@@ -85,21 +84,10 @@ fn main() {
         ]);
     }
 
-    print_table(
-        &format!("Lemmas 6+7: phase durations for n = {n} ({sims} sims), unit n^2"),
-        &[
-            "phase k",
-            "ranks",
-            "mean/n^2",
-            "median/n^2",
-            "bound/n^2 (gamma=1)",
-            "mean/bound",
-        ],
-        &rows,
-    );
-    println!(
+    exp.emit(&table);
+    exp.note(
         "\nexpected shape: durations grow with k (epidemics among fewer agents); \
          every measured mean stays below the Lemma 6+7 bound (ratio < 1). \
-         Phase 1 includes leader election."
+         Phase 1 includes leader election.",
     );
 }

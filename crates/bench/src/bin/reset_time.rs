@@ -7,24 +7,27 @@
 //! re-entered leader election. A power fit against `n log n` should give
 //! slope ≈ 1.
 //!
-//! Usage: `cargo run --release -p bench --bin reset_time -- [sims=20]`
+//! Usage: `cargo run --release -p bench --bin reset_time -- [sims=20]
+//! [--csv]`
 
 use analysis::fit::power_fit;
 use analysis::stats::Summary;
-use bench::{f3, print_table, Args};
-use population::runner::run_seed_range;
+use bench::{f3, Experiment, Table};
 use population::Simulator;
 use ranking::stable::StableRanking;
 use ranking::Params;
 
 fn main() {
-    let args = Args::from_env();
-    let sims: u64 = args.get("sims", 20);
+    let exp = Experiment::from_env("reset_time");
+    let sims = exp.sims(20);
 
-    let mut rows = Vec::new();
+    let mut table = Table::new(
+        format!("Lemma 9: triggered -> all-electing, unit n ln n ({sims} sims)"),
+        &["n", "mean/(n ln n)", "median/(n ln n)", "max/(n ln n)"],
+    );
     let mut points = Vec::new();
     for n in [64usize, 128, 256, 512, 1024] {
-        let times: Vec<f64> = run_seed_range(sims, |seed| {
+        let times: Vec<f64> = exp.run_seeds(sims, |seed| {
             let protocol = StableRanking::new(Params::new(n));
             let mut init = protocol.all_phase(1);
             // One triggered agent (as TRIGGERRESET would leave it).
@@ -46,7 +49,7 @@ fn main() {
         let s = Summary::of(&times);
         let norm = (n as f64) * (n as f64).ln();
         points.push((n as f64, s.mean));
-        rows.push(vec![
+        table.push(vec![
             n.to_string(),
             f3(s.mean / norm),
             f3(s.median / norm),
@@ -54,18 +57,14 @@ fn main() {
         ]);
     }
 
-    print_table(
-        &format!("Lemma 9: triggered -> all-electing, unit n ln n ({sims} sims)"),
-        &["n", "mean/(n ln n)", "median/(n ln n)", "max/(n ln n)"],
-        &rows,
-    );
+    exp.emit(&table);
     let fit = power_fit(&points);
-    println!(
+    exp.note(&format!(
         "\npower fit: T ~ {:.2} * n^{:.3} (R^2 = {:.4})",
         fit.a, fit.b, fit.r_squared
-    );
-    println!(
+    ));
+    exp.note(
         "expected shape: normalized values flat in n; exponent close to 1 \
-         (n log n growth => exponent slightly above 1)."
+         (n log n growth => exponent slightly above 1).",
     );
 }

@@ -8,95 +8,84 @@
 //! be roughly constant.
 //!
 //! Usage: `cargo run --release -p bench --bin scaling -- [sims=8]
-//! [max_exp=8]`
+//! [max_exp=8] [--csv]`
 
 use analysis::fit::power_fit;
-use analysis::stats::Summary;
-use bench::{f3, print_table, Args};
+use bench::measure::{completed, ranking_times, summary};
+use bench::{f3, Experiment, Table};
 use leader_election::tournament::TournamentLe;
-use population::runner::run_seed_range;
-use population::{is_valid_ranking, Simulator};
 use ranking::space_efficient::SpaceEfficientRanking;
 use ranking::stable::StableRanking;
 use ranking::Params;
 
 fn main() {
-    let args = Args::from_env();
-    let sims: u64 = args.get("sims", 8);
-    let max_exp: u32 = args.get("max_exp", 8);
-
+    let exp = Experiment::from_env("scaling");
+    let sims = exp.sims(8);
+    let max_exp: u32 = exp.get("max_exp", 8);
     let sizes: Vec<usize> = (4..=max_exp).map(|e| 1usize << e).collect();
 
-    // ---- Theorem 2: StableRanking from adversarial configurations ----
-    let mut rows = Vec::new();
-    let mut pts_stable = Vec::new();
-    for &n in &sizes {
-        let times: Vec<f64> = run_seed_range(sims, |seed| {
+    run_fit(
+        &exp,
+        &format!("Theorem 2: StableRanking stabilization, unit n^2 log2 n ({sims} sims)"),
+        &sizes,
+        sims,
+        |n, seed| {
             let protocol = StableRanking::new(Params::new(n));
             let init = protocol.adversarial_uniform(seed * 101 + 7);
-            let mut sim = Simulator::new(protocol, init, seed);
-            let budget = (10_000.0 * (n * n) as f64 * (n as f64).log2()) as u64;
-            sim.run_until(is_valid_ranking, budget, n as u64)
-                .converged_at()
-                .map(|t| t as f64)
-        })
-        .into_iter()
-        .flatten()
-        .collect();
-        let s = Summary::of(&times);
-        pts_stable.push((n as f64, s.mean));
-        rows.push(vec![
-            n.to_string(),
-            f3(s.mean / ((n * n) as f64 * (n as f64).log2())),
-            f3(s.median / ((n * n) as f64 * (n as f64).log2())),
-            format!("{}/{sims}", times.len()),
-        ]);
-    }
-    print_table(
-        &format!("Theorem 2: StableRanking stabilization, unit n^2 log2 n ({sims} sims)"),
-        &["n", "mean", "median", "completed"],
-        &rows,
-    );
-    let fit = power_fit(&pts_stable);
-    println!(
-        "power fit: T ~ {:.2} * n^{:.3} (R^2 = {:.4}) — expected exponent ~2.1-2.5",
-        fit.a, fit.b, fit.r_squared
+            (protocol, init)
+        },
     );
 
-    // ---- Theorem 1: SpaceEfficientRanking from the clean start ----
-    let mut rows = Vec::new();
-    let mut pts_se = Vec::new();
-    for &n in &sizes {
-        let times: Vec<f64> = run_seed_range(sims, |seed| {
-            let protocol =
-                SpaceEfficientRanking::new(&Params::new(n), TournamentLe::for_n(n));
-            let init = protocol.initial();
-            let mut sim = Simulator::new(protocol, init, seed);
-            let budget = (10_000.0 * (n * n) as f64 * (n as f64).log2()) as u64;
-            sim.run_until(is_valid_ranking, budget, n as u64)
-                .converged_at()
-                .map(|t| t as f64)
-        })
-        .into_iter()
-        .flatten()
-        .collect();
-        let s = Summary::of(&times);
-        pts_se.push((n as f64, s.mean));
-        rows.push(vec![
-            n.to_string(),
-            f3(s.mean / ((n * n) as f64 * (n as f64).log2())),
-            f3(s.median / ((n * n) as f64 * (n as f64).log2())),
-            format!("{}/{sims}", times.len()),
-        ]);
-    }
-    print_table(
+    run_fit(
+        &exp,
         &format!("Theorem 1: SpaceEfficientRanking, unit n^2 log2 n ({sims} sims)"),
-        &["n", "mean", "median", "completed"],
-        &rows,
+        &sizes,
+        sims,
+        |n, _seed| {
+            let protocol = SpaceEfficientRanking::new(&Params::new(n), TournamentLe::for_n(n));
+            let init = protocol.initial();
+            (protocol, init)
+        },
     );
-    let fit = power_fit(&pts_se);
-    println!(
+}
+
+fn run_fit<P, F>(exp: &Experiment, title: &str, sizes: &[usize], sims: u64, make: F)
+where
+    P: population::Protocol,
+    P::State: population::RankOutput + Send,
+    F: Fn(usize, u64) -> (P, Vec<P::State>) + Sync,
+{
+    let mut table = Table::new(title, &["n", "mean", "median", "completed"]);
+    let mut points = Vec::new();
+    for &n in sizes {
+        let budget = (10_000.0 * (n * n) as f64 * (n as f64).log2()) as u64;
+        let times = ranking_times(exp, sims, budget, n as u64, |seed| make(n, seed));
+        let done = completed(&times);
+        let norm = (n * n) as f64 * (n as f64).log2();
+        // A size where no seed completed still gets a row — an all-"-"
+        // line is the signal that a budget regression ate the point.
+        match summary(&times) {
+            Some(s) => {
+                points.push((n as f64, s.mean));
+                table.push(vec![
+                    n.to_string(),
+                    f3(s.mean / norm),
+                    f3(s.median / norm),
+                    format!("{}/{sims}", done.len()),
+                ]);
+            }
+            None => table.push(vec![
+                n.to_string(),
+                "-".into(),
+                "-".into(),
+                format!("0/{sims}"),
+            ]),
+        }
+    }
+    exp.emit(&table);
+    let fit = power_fit(&points);
+    exp.note(&format!(
         "power fit: T ~ {:.2} * n^{:.3} (R^2 = {:.4}) — expected exponent ~2.1-2.5",
         fit.a, fit.b, fit.r_squared
-    );
+    ));
 }

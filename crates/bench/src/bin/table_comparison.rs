@@ -11,71 +11,27 @@
 //! flat, Cai et al. should grow linearly in `n / log n`.
 //!
 //! Usage: `cargo run --release -p bench --bin table_comparison --
-//! [sims=5] [max_exp=8]`
+//! [sims=5] [max_exp=8] [--csv]`
 
 use analysis::stats::Summary;
 use baselines::burman::BurmanRanking;
 use baselines::cai::CaiRanking;
 use baselines::naive::NaiveLeaderRanking;
-use bench::{f3, print_table, Args};
+use bench::measure::{ranking_times, summary};
+use bench::{f3, Experiment, Table};
 use leader_election::tournament::TournamentLe;
-use population::runner::run_seed_range;
-use population::{is_valid_ranking, Protocol, RankOutput, Simulator};
 use ranking::audit::stable_state_bound;
 use ranking::space_efficient::SpaceEfficientRanking;
 use ranking::stable::StableRanking;
 use ranking::Params;
 
-fn measure<P, F>(make: F, sims: u64, budget: u64, check: u64) -> Option<Summary>
-where
-    P: Protocol,
-    P::State: RankOutput + Send,
-    F: Fn(u64) -> (P, Vec<P::State>) + Sync,
-{
-    let times: Vec<f64> = run_seed_range(sims, |seed| {
-        let (protocol, init) = make(seed);
-        let mut sim = Simulator::new(protocol, init, seed);
-        sim.run_until(is_valid_ranking, budget, check)
-            .converged_at()
-            .map(|t| t as f64)
-    })
-    .into_iter()
-    .flatten()
-    .collect();
-    if times.is_empty() {
-        None
-    } else {
-        Some(Summary::of(&times))
-    }
-}
-
 fn main() {
-    let args = Args::from_env();
-    let sims: u64 = args.get("sims", 5);
-    let max_exp: u32 = args.get("max_exp", 8);
+    let exp = Experiment::from_env("table_comparison");
+    let sims = exp.sims(5);
+    let max_exp: u32 = exp.get("max_exp", 8);
 
     // ---------------- Part 1: analytic state counts ----------------
-    let mut rows = Vec::new();
-    for exp in [8u32, 10, 12, 16, 20] {
-        let n = 1usize << exp;
-        let params = Params::new(n);
-        let ours = stable_state_bound(&params);
-        let se_overhead = 2 * u64::from(params.wait_max())
-            + 2 * u64::from(params.coin_target())
-            + TournamentLe::for_n(n).state_count();
-        let burman = BurmanRanking::new(n).state_count();
-        rows.push(vec![
-            format!("2^{exp}"),
-            ours.total().to_string(),
-            ours.overhead().to_string(),
-            (n as u64 + se_overhead).to_string(),
-            burman.to_string(),
-            (burman - n as u64).to_string(),
-            (2 * n as u64 + 1).to_string(),
-            n.to_string(),
-        ]);
-    }
-    print_table(
+    let mut table = Table::new(
         "State complexity (analytic): total and overhead beyond the n ranks",
         &[
             "n",
@@ -87,73 +43,83 @@ fn main() {
             "NaiveLeader",
             "Cai et al.",
         ],
-        &rows,
     );
-    println!(
+    for exp2 in [8u32, 10, 12, 16, 20] {
+        let n = 1usize << exp2;
+        let params = Params::new(n);
+        let ours = stable_state_bound(&params);
+        let se_overhead = 2 * u64::from(params.wait_max())
+            + 2 * u64::from(params.coin_target())
+            + TournamentLe::for_n(n).state_count();
+        let burman = BurmanRanking::new(n).state_count();
+        table.push(vec![
+            format!("2^{exp2}"),
+            ours.total().to_string(),
+            ours.overhead().to_string(),
+            (n as u64 + se_overhead).to_string(),
+            burman.to_string(),
+            (burman - n as u64).to_string(),
+            (2 * n as u64 + 1).to_string(),
+            n.to_string(),
+        ]);
+    }
+    exp.emit(&table);
+    exp.note(
         "* SpaceEfficientRanking uses the tournament LE substitute \
          (O(log^3 n) states; the paper's black box would give n + Theta(log n)).\n\
-         StableRanking overhead is O(log^2 n): the paper's Theorem 2."
+         StableRanking overhead is O(log^2 n): the paper's Theorem 2.",
     );
 
     // ---------------- Part 2: measured stabilization time ----------------
-    let mut rows = Vec::new();
-    for exp in 5..=max_exp.min(8) {
-        let n = 1usize << exp;
+    let mut table = Table::new(
+        format!("Stabilization time / (n^2 log2 n), mean of {sims} runs"),
+        &[
+            "n",
+            "StableRanking",
+            "SpaceEfficient",
+            "Burman-style",
+            "NaiveLeader",
+            "Cai et al.",
+        ],
+    );
+    for exp2 in 5..=max_exp.min(8) {
+        let n = 1usize << exp2;
         let norm = (n * n) as f64 * (n as f64).log2();
         let budget = (8000.0 * norm) as u64;
         let check = n as u64;
 
-        let stable = measure(
-            |seed| {
-                let p = StableRanking::new(Params::new(n));
-                let init = p.adversarial_uniform(seed * 31 + 7);
-                (p, init)
-            },
-            sims,
-            budget,
-            check,
-        );
-        let se = measure(
-            |_| {
-                let p = SpaceEfficientRanking::new(&Params::new(n), TournamentLe::for_n(n));
-                let init = p.initial();
-                (p, init)
-            },
-            sims,
-            budget,
-            check,
-        );
-        let burman = measure(
-            |seed| {
-                let p = BurmanRanking::new(n);
-                let init = p.adversarial(seed * 17 + 3);
-                (p, init)
-            },
-            sims,
-            budget,
-            check,
-        );
-        let naive = measure(
-            |_| {
-                let p = NaiveLeaderRanking::new(n);
-                let init = p.initial();
-                (p, init)
-            },
-            sims,
-            budget,
-            check,
-        );
+        let stable = summary(&ranking_times(&exp, sims, budget, check, |seed| {
+            let p = StableRanking::new(Params::new(n));
+            let init = p.adversarial_uniform(seed * 31 + 7);
+            (p, init)
+        }));
+        let se = summary(&ranking_times(&exp, sims, budget, check, |_| {
+            let p = SpaceEfficientRanking::new(&Params::new(n), TournamentLe::for_n(n));
+            let init = p.initial();
+            (p, init)
+        }));
+        let burman = summary(&ranking_times(&exp, sims, budget, check, |seed| {
+            let p = BurmanRanking::new(n);
+            let init = p.adversarial(seed * 17 + 3);
+            (p, init)
+        }));
+        let naive = summary(&ranking_times(&exp, sims, budget, check, |_| {
+            let p = NaiveLeaderRanking::new(n);
+            let init = p.initial();
+            (p, init)
+        }));
         let cai = if n <= 128 {
-            measure(
+            summary(&ranking_times(
+                &exp,
+                sims,
+                200 * (n as u64).pow(3),
+                check,
                 |_| {
                     let p = CaiRanking::new(n);
                     let init = p.all_equal();
                     (p, init)
                 },
-                sims,
-                200 * (n as u64).pow(3),
-                check,
-            )
+            ))
         } else {
             None
         };
@@ -163,7 +129,7 @@ fn main() {
                 .map(|s| f3(s.mean / norm))
                 .unwrap_or_else(|| "-".to_string())
         };
-        rows.push(vec![
+        table.push(vec![
             n.to_string(),
             cell(&stable),
             cell(&se),
@@ -172,22 +138,11 @@ fn main() {
             cell(&cai),
         ]);
     }
-    print_table(
-        &format!("Stabilization time / (n^2 log2 n), mean of {sims} runs"),
-        &[
-            "n",
-            "StableRanking",
-            "SpaceEfficient",
-            "Burman-style",
-            "NaiveLeader",
-            "Cai et al.",
-        ],
-        &rows,
-    );
-    println!(
+    exp.emit(&table);
+    exp.note(
         "expected shape: all leader-based protocols flat (Theta(n^2 log n)); \
          Cai et al. grows ~n/log n (its Theta(n^3) cost). StableRanking and \
          Burman-style start from adversarial configurations, the others from \
-         clean ones."
+         clean ones.",
     );
 }

@@ -1,0 +1,77 @@
+//! The tiny CLI convention shared by every experiment binary:
+//! `key=value` arguments plus bare `--flag`s.
+
+use std::collections::HashMap;
+
+/// Parsed command-line arguments: `key=value` pairs and `--flag`s.
+#[derive(Debug, Clone, Default)]
+pub struct Args {
+    values: HashMap<String, String>,
+    flags: Vec<String>,
+}
+
+impl Args {
+    /// Parse from the process arguments.
+    pub fn from_env() -> Self {
+        Self::parse(std::env::args().skip(1))
+    }
+
+    /// Parse from an explicit iterator (testable).
+    pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Self {
+        let mut out = Args::default();
+        for arg in args {
+            if let Some(flag) = arg.strip_prefix("--") {
+                out.flags.push(flag.to_string());
+            } else if let Some((k, v)) = arg.split_once('=') {
+                out.values.insert(k.to_string(), v.to_string());
+            }
+        }
+        out
+    }
+
+    /// `key=value` lookup with a default.
+    pub fn get<T: std::str::FromStr>(&self, key: &str, default: T) -> T {
+        self.values
+            .get(key)
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
+    }
+
+    /// `key=value` lookup returning the raw string, if present.
+    pub fn get_str(&self, key: &str) -> Option<&str> {
+        self.values.get(key).map(String::as_str)
+    }
+
+    /// Is `--flag` present?
+    pub fn flag(&self, name: &str) -> bool {
+        self.flags.iter().any(|f| f == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_key_values_and_flags() {
+        let a = Args::parse(["n=128", "--full", "sims=25"].iter().map(|s| s.to_string()));
+        assert_eq!(a.get("n", 0usize), 128);
+        assert_eq!(a.get("sims", 0usize), 25);
+        assert_eq!(a.get("missing", 7u64), 7);
+        assert!(a.flag("full"));
+        assert!(!a.flag("csv"));
+    }
+
+    #[test]
+    fn malformed_values_fall_back_to_default() {
+        let a = Args::parse(["n=abc".to_string()]);
+        assert_eq!(a.get("n", 42usize), 42);
+    }
+
+    #[test]
+    fn raw_string_lookup() {
+        let a = Args::parse(["out=results.json".to_string()]);
+        assert_eq!(a.get_str("out"), Some("results.json"));
+        assert_eq!(a.get_str("missing"), None);
+    }
+}

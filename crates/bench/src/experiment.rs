@@ -1,0 +1,182 @@
+//! The unified experiment harness.
+//!
+//! Every binary under `src/bin/` regenerates one artifact of the paper's
+//! evaluation. They all share the same shape — parse a few CLI knobs,
+//! fan a measurement out over seeds, aggregate into tables, emit as an
+//! aligned table, CSV, or JSON — and [`Experiment`] implements that
+//! shape once:
+//!
+//! * **CLI**: `key=value` arguments and `--flag`s ([`crate::cli::Args`]),
+//!   plus the shared conventions `sims=`, `seed0=`, `out=`, `--csv`.
+//! * **Seed fan-out**: [`Experiment::run_seeds`] dispatches one job per
+//!   seed over [`population::runner::run_seeds`] (scoped threads, results
+//!   in seed order).
+//! * **Emission**: [`Experiment::emit`] renders tables aligned for
+//!   humans or as CSV under `--csv`; [`Experiment::write_json`] persists
+//!   structured results (default path overridable with `out=`).
+
+use crate::cli::Args;
+use crate::json::{self, Json};
+use crate::table::Table;
+
+/// One experiment run: name + parsed CLI + emission conventions.
+#[derive(Debug)]
+pub struct Experiment {
+    name: String,
+    args: Args,
+}
+
+impl Experiment {
+    /// Build from the process arguments.
+    pub fn from_env(name: &str) -> Self {
+        Self::with_args(name, Args::from_env())
+    }
+
+    /// Build from explicit arguments (testable).
+    pub fn with_args(name: &str, args: Args) -> Self {
+        Self {
+            name: name.to_string(),
+            args,
+        }
+    }
+
+    /// The experiment name (used in default artifact paths).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The parsed arguments.
+    pub fn args(&self) -> &Args {
+        &self.args
+    }
+
+    /// `key=value` lookup with a default.
+    pub fn get<T: std::str::FromStr>(&self, key: &str, default: T) -> T {
+        self.args.get(key, default)
+    }
+
+    /// Is `--flag` present?
+    pub fn flag(&self, name: &str) -> bool {
+        self.args.flag(name)
+    }
+
+    /// Number of simulations per point: `sims=` with a default.
+    pub fn sims(&self, default: u64) -> u64 {
+        self.args.get("sims", default)
+    }
+
+    /// The seed list for `count` simulations: `seed0=, seed0+1, …`
+    /// (`seed0` defaults to 0, overridable for independent replications).
+    pub fn seeds(&self, count: u64) -> Vec<u64> {
+        let seed0: u64 = self.args.get("seed0", 0);
+        (seed0..seed0 + count).collect()
+    }
+
+    /// Run `job` once per seed in parallel, returning results in seed
+    /// order. Seeds are `seed0= .. seed0+count`.
+    pub fn run_seeds<R, F>(&self, count: u64, job: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(u64) -> R + Sync,
+    {
+        population::runner::run_seeds(&self.seeds(count), job)
+    }
+
+    /// Emit a table: CSV to stdout under `--csv`, aligned otherwise.
+    ///
+    /// Binaries that emit several tables produce several CSV sections;
+    /// each is preceded by a `# <title>` comment line so consumers can
+    /// split the stream (or drop comments, e.g. pandas `comment='#'`).
+    pub fn emit(&self, table: &Table) {
+        if self.flag("csv") {
+            println!("# {}", table.title);
+            print!("{}", table.render_csv());
+        } else {
+            print!("{}", table.render_aligned());
+        }
+    }
+
+    /// Print a free-form note (suppressed under `--csv` so piped output
+    /// stays machine-readable).
+    pub fn note(&self, text: &str) {
+        if !self.flag("csv") {
+            println!("{text}");
+        }
+    }
+
+    /// Write a JSON artifact to `default_path` (overridable with
+    /// `out=`), pretty-printed, wrapped in an envelope recording the
+    /// experiment name.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the file cannot be written — experiment artifacts are
+    /// the whole point of a run, so failing loudly beats a silent skip.
+    pub fn write_json(&self, default_path: &str, payload: Json) {
+        let path = self.args.get_str("out").unwrap_or(default_path).to_string();
+        let envelope = Json::obj([
+            ("experiment", self.name.as_str().into()),
+            ("results", payload),
+        ]);
+        std::fs::write(&path, json::pretty(&envelope))
+            .unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+        self.note(&format!("wrote {path}"));
+    }
+
+    /// Convert a table into a JSON array of row objects (headers become
+    /// keys; cells stay strings — numeric reinterpretation is the
+    /// consumer's choice).
+    pub fn table_json(table: &Table) -> Json {
+        Json::Arr(
+            table
+                .rows
+                .iter()
+                .map(|row| {
+                    Json::Obj(
+                        table
+                            .headers
+                            .iter()
+                            .zip(row)
+                            .map(|(h, c)| (h.clone(), Json::Str(c.clone())))
+                            .collect(),
+                    )
+                })
+                .collect(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn exp(args: &[&str]) -> Experiment {
+        Experiment::with_args("demo", Args::parse(args.iter().map(|s| s.to_string())))
+    }
+
+    #[test]
+    fn seeds_start_at_seed0() {
+        assert_eq!(exp(&[]).seeds(3), vec![0, 1, 2]);
+        assert_eq!(exp(&["seed0=10"]).seeds(3), vec![10, 11, 12]);
+    }
+
+    #[test]
+    fn run_seeds_is_in_order() {
+        let out = exp(&[]).run_seeds(8, |s| s * 2);
+        assert_eq!(out, vec![0, 2, 4, 6, 8, 10, 12, 14]);
+    }
+
+    #[test]
+    fn sims_reads_argument_with_default() {
+        assert_eq!(exp(&[]).sims(25), 25);
+        assert_eq!(exp(&["sims=4"]).sims(25), 4);
+    }
+
+    #[test]
+    fn table_json_zips_headers_and_cells() {
+        let mut t = Table::new("t", &["n", "mean"]);
+        t.push(vec!["8".into(), "1.5".into()]);
+        let j = Experiment::table_json(&t);
+        assert_eq!(j.to_string(), r#"[{"n":"8","mean":"1.5"}]"#);
+    }
+}

@@ -1,124 +1,37 @@
-//! Shared harness for the figure/table regeneration binaries.
+//! Unified experiment harness for the figure/table regeneration
+//! binaries.
 //!
 //! Every binary under `src/bin/` regenerates one artifact of the paper's
-//! evaluation (see DESIGN.md §4 and EXPERIMENTS.md). They share the tiny
-//! CLI convention implemented here: `key=value` arguments plus bare flags,
-//! e.g.
+//! evaluation (see the module docs of each). They are all built on
+//! [`Experiment`]: shared CLI parsing (`key=value` plus `--flag`s), seed
+//! fan-out over scoped threads, and structured emission (aligned table,
+//! CSV under `--csv`, JSON artifacts via `out=`), e.g.
 //!
 //! ```text
-//! cargo run --release -p bench --bin fig3 -- sims=100 --full
+//! cargo run --release -p bench --bin fig3 -- sims=100 --full --csv
+//! cargo run --release -p bench --bin engine_throughput -- out=BENCH_engine.json
 //! ```
 //!
-//! Results are printed as aligned tables (and the raw series as CSV to
-//! stdout when `--csv` is passed) so they can be compared directly with
-//! the paper's plots.
+//! Shared CLI conventions across all binaries:
+//!
+//! | argument  | meaning                                            |
+//! |-----------|----------------------------------------------------|
+//! | `sims=N`  | simulations per measured point                     |
+//! | `seed0=S` | first seed of the fan-out (default 0)              |
+//! | `--csv`   | machine-readable CSV instead of aligned tables     |
+//! | `out=P`   | override the JSON artifact path (where supported)  |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use std::collections::HashMap;
+pub mod cli;
+pub mod experiment;
+pub mod json;
+pub mod measure;
+pub mod table;
+pub mod timing;
 
-/// Parsed command-line arguments: `key=value` pairs and `--flag`s.
-#[derive(Debug, Clone, Default)]
-pub struct Args {
-    values: HashMap<String, String>,
-    flags: Vec<String>,
-}
-
-impl Args {
-    /// Parse from the process arguments.
-    pub fn from_env() -> Self {
-        Self::parse(std::env::args().skip(1))
-    }
-
-    /// Parse from an explicit iterator (testable).
-    pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Self {
-        let mut out = Args::default();
-        for arg in args {
-            if let Some(flag) = arg.strip_prefix("--") {
-                out.flags.push(flag.to_string());
-            } else if let Some((k, v)) = arg.split_once('=') {
-                out.values.insert(k.to_string(), v.to_string());
-            }
-        }
-        out
-    }
-
-    /// `key=value` lookup with a default.
-    pub fn get<T: std::str::FromStr>(&self, key: &str, default: T) -> T {
-        self.values
-            .get(key)
-            .and_then(|v| v.parse().ok())
-            .unwrap_or(default)
-    }
-
-    /// Is `--flag` present?
-    pub fn flag(&self, name: &str) -> bool {
-        self.flags.iter().any(|f| f == name)
-    }
-}
-
-/// Print an aligned table with a header row.
-pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
-    println!("\n== {title} ==");
-    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
-    for row in rows {
-        for (i, cell) in row.iter().enumerate() {
-            if i < widths.len() {
-                widths[i] = widths[i].max(cell.len());
-            }
-        }
-    }
-    let fmt_row = |cells: &[String]| {
-        cells
-            .iter()
-            .enumerate()
-            .map(|(i, c)| format!("{:>width$}", c, width = widths.get(i).copied().unwrap_or(8)))
-            .collect::<Vec<_>>()
-            .join("  ")
-    };
-    let head: Vec<String> = headers.iter().map(|h| h.to_string()).collect();
-    println!("{}", fmt_row(&head));
-    println!("{}", "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
-    for row in rows {
-        println!("{}", fmt_row(row));
-    }
-}
-
-/// Print rows as CSV (for piping into plotting tools).
-pub fn print_csv(headers: &[&str], rows: &[Vec<String>]) {
-    println!("{}", headers.join(","));
-    for row in rows {
-        println!("{}", row.join(","));
-    }
-}
-
-/// Format a float with three significant decimals.
-pub fn f3(x: f64) -> String {
-    format!("{x:.3}")
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn parses_key_values_and_flags() {
-        let a = Args::parse(
-            ["n=128", "--full", "sims=25"]
-                .iter()
-                .map(|s| s.to_string()),
-        );
-        assert_eq!(a.get("n", 0usize), 128);
-        assert_eq!(a.get("sims", 0usize), 25);
-        assert_eq!(a.get("missing", 7u64), 7);
-        assert!(a.flag("full"));
-        assert!(!a.flag("csv"));
-    }
-
-    #[test]
-    fn malformed_values_fall_back_to_default() {
-        let a = Args::parse(["n=abc".to_string()]);
-        assert_eq!(a.get("n", 42usize), 42);
-    }
-}
+pub use cli::Args;
+pub use experiment::Experiment;
+pub use json::Json;
+pub use table::{f3, Table};

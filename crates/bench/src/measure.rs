@@ -1,0 +1,78 @@
+//! Shared measurement recipes used by several experiment binaries.
+//!
+//! The most common experiment in this repository is "interactions until
+//! the configuration is a valid ranking, across seeds" — Theorems 1/2,
+//! the baselines, and the ablations all measure it. [`ranking_times`]
+//! implements it once on the observer pipeline.
+
+use analysis::stats::Summary;
+use population::{is_valid_ranking, Protocol, RankOutput, Simulator};
+
+use crate::experiment::Experiment;
+
+/// For each seed, build `(protocol, initial)` via `make`, then measure
+/// the interactions until [`is_valid_ranking`] first holds (polled every
+/// `check` interactions), up to `budget`. `None` where the budget ran
+/// out.
+pub fn ranking_times<P, F>(
+    exp: &Experiment,
+    sims: u64,
+    budget: u64,
+    check: u64,
+    make: F,
+) -> Vec<Option<u64>>
+where
+    P: Protocol,
+    P::State: RankOutput + Send,
+    F: Fn(u64) -> (P, Vec<P::State>) + Sync,
+{
+    exp.run_seeds(sims, |seed| {
+        let (protocol, init) = make(seed);
+        let mut sim = Simulator::new(protocol, init, seed);
+        sim.run_until(is_valid_ranking, budget, check)
+            .converged_at()
+    })
+}
+
+/// The completed runs of a measurement, as `f64` interaction counts.
+pub fn completed(times: &[Option<u64>]) -> Vec<f64> {
+    times.iter().flatten().map(|&t| t as f64).collect()
+}
+
+/// Summary over the completed runs (`None` if none completed).
+pub fn summary(times: &[Option<u64>]) -> Option<Summary> {
+    let done = completed(times);
+    if done.is_empty() {
+        None
+    } else {
+        Some(Summary::of(&done))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cli::Args;
+    use baselines::naive::NaiveLeaderRanking;
+
+    #[test]
+    fn naive_ranking_is_measured_across_seeds() {
+        let exp = Experiment::with_args("t", Args::parse(Vec::new()));
+        let n = 16;
+        let times = ranking_times(&exp, 4, 200_000, 16, |_| {
+            let p = NaiveLeaderRanking::new(n);
+            let init = p.initial();
+            (p, init)
+        });
+        assert_eq!(times.len(), 4);
+        assert!(times.iter().all(|t| t.is_some()), "{times:?}");
+        let s = summary(&times).expect("all completed");
+        assert!(s.mean > 0.0);
+    }
+
+    #[test]
+    fn summary_of_no_completions_is_none() {
+        assert!(summary(&[None, None]).is_none());
+        assert_eq!(completed(&[Some(5), None, Some(7)]), vec![5.0, 7.0]);
+    }
+}

@@ -1,0 +1,110 @@
+//! Result tables: one in-memory representation, two renderings
+//! (human-aligned text and CSV).
+
+/// A titled table of string cells.
+#[derive(Debug, Clone)]
+pub struct Table {
+    /// Table title (printed above the aligned rendering).
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Data rows.
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// New empty table.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        Self {
+            title: title.into(),
+            headers: headers.iter().map(|h| h.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a data row.
+    pub fn push(&mut self, row: Vec<String>) {
+        debug_assert_eq!(row.len(), self.headers.len(), "row arity mismatch");
+        self.rows.push(row);
+    }
+
+    /// Render with right-aligned, width-fitted columns.
+    pub fn render_aligned(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                if i < widths.len() {
+                    widths[i] = widths[i].max(cell.len());
+                }
+            }
+        }
+        let fmt_row = |cells: &[String]| {
+            cells
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:>width$}", c, width = widths.get(i).copied().unwrap_or(8)))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        let mut out = format!("\n== {} ==\n", self.title);
+        out.push_str(&fmt_row(&self.headers));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Render as CSV (for piping into plotting tools).
+    pub fn render_csv(&self) -> String {
+        let mut out = self.headers.join(",");
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.join(","));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Format a float with three decimals (the repository's table
+/// convention).
+pub fn f3(x: f64) -> String {
+    format!("{x:.3}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Table {
+        let mut t = Table::new("demo", &["n", "mean"]);
+        t.push(vec!["8".into(), f3(1.25)]);
+        t.push(vec!["1024".into(), f3(0.5)]);
+        t
+    }
+
+    #[test]
+    fn aligned_rendering_fits_widths() {
+        let s = sample().render_aligned();
+        assert!(s.contains("== demo =="));
+        assert!(s.contains("1024  0.500"));
+        // The header line right-aligns "n" to the widest cell (1024).
+        assert!(s.contains("   n"));
+    }
+
+    #[test]
+    fn csv_rendering_is_plain() {
+        let s = sample().render_csv();
+        assert_eq!(s, "n,mean\n8,1.250\n1024,0.500\n");
+    }
+
+    #[test]
+    fn f3_rounds_to_three_decimals() {
+        assert_eq!(f3(1.0 / 3.0), "0.333");
+        assert_eq!(f3(2.0), "2.000");
+    }
+}

@@ -1,0 +1,98 @@
+//! Wall-clock micro-benchmark helper (replaces the external `criterion`
+//! dependency for the `benches/` targets and the engine-throughput
+//! experiment).
+//!
+//! Methodology: run a warm-up, then time `samples` repetitions of the
+//! workload and report the distribution. The *median* is the headline
+//! number — robust to scheduler noise on shared machines — with min/max
+//! retained for dispersion.
+
+use std::time::Instant;
+
+/// Timing distribution over repeated runs of a workload.
+#[derive(Debug, Clone, Copy)]
+pub struct Timing {
+    /// Median seconds per run.
+    pub median_s: f64,
+    /// Fastest run, seconds.
+    pub min_s: f64,
+    /// Slowest run, seconds.
+    pub max_s: f64,
+    /// Number of timed runs.
+    pub samples: usize,
+}
+
+impl Timing {
+    /// Throughput in events per second, given events per run.
+    pub fn per_second(&self, events_per_run: f64) -> f64 {
+        events_per_run / self.median_s
+    }
+}
+
+/// Time `samples` runs of `work` (after `warmup` untimed runs).
+///
+/// # Panics
+///
+/// Panics if `samples == 0`.
+pub fn time_runs(warmup: usize, samples: usize, mut work: impl FnMut()) -> Timing {
+    assert!(samples > 0, "need at least one timed sample");
+    for _ in 0..warmup {
+        work();
+    }
+    let mut times: Vec<f64> = (0..samples)
+        .map(|_| {
+            let t0 = Instant::now();
+            work();
+            t0.elapsed().as_secs_f64()
+        })
+        .collect();
+    times.sort_by(f64::total_cmp);
+    Timing {
+        median_s: times[times.len() / 2],
+        min_s: times[0],
+        max_s: times[times.len() - 1],
+        samples,
+    }
+}
+
+/// Run and report one named benchmark: `events_per_run` events per
+/// invocation of `work`, printed as events/second.
+pub fn bench(name: &str, events_per_run: u64, warmup: usize, samples: usize, work: impl FnMut()) {
+    let t = time_runs(warmup, samples, work);
+    println!(
+        "{name:<44} {:>10.2} M/s  (median of {}, min {:.2} M/s, max {:.2} M/s)",
+        t.per_second(events_per_run as f64) / 1e6,
+        t.samples,
+        events_per_run as f64 / t.max_s / 1e6,
+        events_per_run as f64 / t.min_s / 1e6,
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn median_is_between_min_and_max() {
+        let mut x = 0u64;
+        let t = time_runs(1, 5, || {
+            for i in 0..10_000 {
+                x = x.wrapping_add(i);
+            }
+        });
+        std::hint::black_box(x);
+        assert!(t.min_s <= t.median_s && t.median_s <= t.max_s);
+        assert_eq!(t.samples, 5);
+    }
+
+    #[test]
+    fn per_second_scales_with_events() {
+        let t = Timing {
+            median_s: 0.5,
+            min_s: 0.4,
+            max_s: 0.6,
+            samples: 3,
+        };
+        assert_eq!(t.per_second(1_000_000.0), 2_000_000.0);
+    }
+}

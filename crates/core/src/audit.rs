@@ -103,6 +103,7 @@ impl StateAudit {
 mod tests {
     use super::*;
     use crate::stable::StableRanking;
+    use population::observe::{Convergence, Sampler};
     use population::{is_valid_ranking, Simulator};
 
     #[test]
@@ -165,16 +166,13 @@ mod tests {
         let mut sim = Simulator::new(protocol, init, 5);
         let mut audit = StateAudit::new();
         let budget = stable_state_bound(&params);
-        let mut done = false;
-        for _ in 0..20_000 {
-            if is_valid_ranking(sim.states()) {
-                done = true;
-                break;
-            }
-            sim.run(64);
-            audit.record(&params, sim.states());
-        }
-        assert!(done, "run did not stabilize within the audit budget");
+        let mut done = Convergence::new(is_valid_ranking);
+        let mut record = Sampler::new(|_, states: &[_]| audit.record(&params, states));
+        let stop = sim.run_observed(20_000 * 64, 64, &mut (&mut done, &mut record));
+        assert!(
+            stop.converged_at().is_some(),
+            "run did not stabilize within the audit budget"
+        );
         assert!(
             (audit.distinct() as u64) <= budget.total(),
             "observed {} distinct states, budget {}",

@@ -145,7 +145,11 @@ mod tests {
     #[test]
     fn ranked_responder_blocks_everything() {
         let fs = fs8();
-        for u0 in [RankRole::Ranked(3), RankRole::Phase(2), RankRole::Waiting(5)] {
+        for u0 in [
+            RankRole::Ranked(3),
+            RankRole::Phase(2),
+            RankRole::Waiting(5),
+        ] {
             let mut u = u0;
             let mut v = RankRole::Ranked(7);
             let step = ranking_step(&fs, 6, &mut u, &mut v);

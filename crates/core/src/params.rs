@@ -40,14 +40,20 @@ impl Params {
 
     /// Builder-style override of `c_wait`.
     pub fn with_c_wait(mut self, c_wait: f64) -> Self {
-        assert!(c_wait.is_finite() && c_wait > 0.0, "c_wait must be positive");
+        assert!(
+            c_wait.is_finite() && c_wait > 0.0,
+            "c_wait must be positive"
+        );
         self.c_wait = c_wait;
         self
     }
 
     /// Builder-style override of `c_live`.
     pub fn with_c_live(mut self, c_live: f64) -> Self {
-        assert!(c_live.is_finite() && c_live > 0.0, "c_live must be positive");
+        assert!(
+            c_live.is_finite() && c_live > 0.0,
+            "c_live must be positive"
+        );
         self.c_live = c_live;
         self
     }

@@ -308,8 +308,7 @@ mod tests {
                 let log2n = (n as f64).log2();
                 let budget = (400.0 * (n * n) as f64 * log2n) as u64;
                 let stop = sim.run_until(is_valid_ranking, budget, n as u64);
-                let ok = stop.converged_at().is_some()
-                    && is_silent(sim.protocol(), sim.states());
+                let ok = stop.converged_at().is_some() && is_silent(sim.protocol(), sim.states());
                 (ok, stop.converged_at())
             });
             let failures = results.iter().filter(|(ok, _)| !ok).count();

@@ -141,8 +141,7 @@ impl StableRanking {
     /// interactions in expectation.
     pub fn figure2(&self) -> Vec<StableState> {
         let n = self.params.n();
-        let mut states: Vec<StableState> =
-            (2..=n as u64).map(StableState::Ranked).collect();
+        let mut states: Vec<StableState> = (2..=n as u64).map(StableState::Ranked).collect();
         states.push(self.phase_state(false, self.params.l_max(), 1));
         states
     }
@@ -239,7 +238,9 @@ impl StableRanking {
     /// The legal configuration: a permutation of ranks (stabilization
     /// target; useful for closure tests).
     pub fn legal(&self) -> Vec<StableState> {
-        (1..=self.params.n() as u64).map(StableState::Ranked).collect()
+        (1..=self.params.n() as u64)
+            .map(StableState::Ranked)
+            .collect()
     }
 
     fn rp_ctx(&self) -> RpCtx<'_> {
@@ -334,8 +335,8 @@ mod tests {
     use super::*;
     use leader_election::fast::FastLeState;
     use population::runner::run_seed_range;
-    use population::RankOutput;
     use population::silence::{first_active_pair, is_silent};
+    use population::RankOutput;
     use population::{is_valid_ranking, Simulator};
 
     fn protocol(n: usize) -> StableRanking {
@@ -553,8 +554,7 @@ mod tests {
         assert_eq!(ranked.len(), 255);
         assert_eq!(*ranked.iter().min().expect("nonempty"), 2);
         assert_eq!(*ranked.iter().max().expect("nonempty"), 256);
-        let phase_agents: Vec<&StableState> =
-            init.iter().filter(|s| s.phase().is_some()).collect();
+        let phase_agents: Vec<&StableState> = init.iter().filter(|s| s.phase().is_some()).collect();
         assert_eq!(phase_agents.len(), 1);
         assert_eq!(phase_agents[0].alive(), Some(p.params().l_max()));
     }

@@ -144,11 +144,10 @@ fn set_reset_count(s: &mut StableState, value: u32) {
 fn tick_dormant(fast: &FastLe, s: &mut StableState) {
     if let StableState::Un(UnState {
         coin,
-        role:
-            UnRole::Reset {
-                reset_count: 0,
-                delay_count,
-            },
+        role: UnRole::Reset {
+            reset_count: 0,
+            delay_count,
+        },
     }) = s
     {
         let next = delay_count.saturating_sub(1);

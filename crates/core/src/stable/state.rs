@@ -202,12 +202,10 @@ impl StableState {
                             + u64::from(*delay_count)
                     }
                     UnRole::Elect(le) => {
-                        let base = (u64::from(params.r_max()) + 1)
-                            * (u64::from(params.d_max()) + 1);
-                        let flags =
-                            u64::from(le.leader_done) * 2 + u64::from(le.is_leader);
-                        base + ((u64::from(le.le_count)
-                            * (u64::from(params.coin_target()) + 1)
+                        let base =
+                            (u64::from(params.r_max()) + 1) * (u64::from(params.d_max()) + 1);
+                        let flags = u64::from(le.leader_done) * 2 + u64::from(le.is_leader);
+                        base + ((u64::from(le.le_count) * (u64::from(params.coin_target()) + 1)
                             + u64::from(le.coin_count))
                             * 4
                             + flags)
@@ -220,13 +218,10 @@ impl StableState {
                                 * 4;
                         let kind_code = match kind {
                             MainKind::Waiting(w) => u64::from(*w),
-                            MainKind::Phase(k) => {
-                                u64::from(params.wait_max()) + 1 + u64::from(*k)
-                            }
+                            MainKind::Phase(k) => u64::from(params.wait_max()) + 1 + u64::from(*k),
                         };
-                        let kind_radix = u64::from(params.wait_max())
-                            + u64::from(params.coin_target())
-                            + 2;
+                        let kind_radix =
+                            u64::from(params.wait_max()) + u64::from(params.coin_target()) + 2;
                         base + u64::from(*alive) * kind_radix + kind_code
                     }
                 };

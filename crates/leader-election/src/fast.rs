@@ -321,11 +321,7 @@ mod tests {
             let protocol = FastLeLottery::new(n, 4.0);
             let init = protocol.initial();
             let mut sim = Simulator::new(protocol, init, seed);
-            sim.run_until(
-                FastLeLottery::all_decided,
-                10_000_000,
-                n as u64,
-            );
+            sim.run_until(FastLeLottery::all_decided, 10_000_000, n as u64);
             usize::from(FastLeLottery::winner_count(sim.states()) == 1)
         })
         .into_iter()
@@ -345,11 +341,7 @@ mod tests {
             let protocol = FastLeLottery::new(n, 4.0);
             let init = protocol.initial();
             let mut sim = Simulator::new(protocol, init, seed);
-            sim.run_until(
-                FastLeLottery::all_decided,
-                10_000_000,
-                n as u64,
-            );
+            sim.run_until(FastLeLottery::all_decided, 10_000_000, n as u64);
             FastLeLottery::winner_count(sim.states())
         })
         .into_iter()

@@ -198,13 +198,9 @@ mod tests {
             let j = JuntaElection::new(n);
             let init = j.initial();
             let mut sim = Simulator::new(j, init, seed);
-            sim.run_until(
-                JuntaElection::decided,
-                10_000_000,
-                n as u64,
-            )
-            .converged_at()
-            .expect("race decides quickly");
+            sim.run_until(JuntaElection::decided, 10_000_000, n as u64)
+                .converged_at()
+                .expect("race decides quickly");
             sim.protocol().junta_size(sim.states())
         });
         for size in &sizes {
@@ -229,11 +225,7 @@ mod tests {
             let j = JuntaElection::new(n);
             let init = j.initial();
             let mut sim = Simulator::new(j, init, seed);
-            let stop = sim.run_until(
-                JuntaElection::decided,
-                200 * n as u64,
-                n as u64,
-            );
+            let stop = sim.run_until(JuntaElection::decided, 200 * n as u64, n as u64);
             assert!(stop.converged_at().is_some());
         }
     }

@@ -76,10 +76,7 @@ impl<L: LeaderElectionBehavior> LeaderElectionProtocol<L> {
 
     /// Number of agents that currently claim leadership.
     pub fn leader_count(&self, states: &[L::State]) -> usize {
-        states
-            .iter()
-            .filter(|s| self.behavior.is_leader(s))
-            .count()
+        states.iter().filter(|s| self.behavior.is_leader(s)).count()
     }
 
     /// True when every agent has set `leaderDone`.

@@ -221,11 +221,7 @@ mod tests {
         let mut sim = Simulator::new(protocol, init, seed);
         let budget = 500 * (n as u64) * 64; // generous c·n·log²n
         let stop = sim.run_until(
-            |s| {
-                s.iter().all(|x| {
-                    TournamentLe::for_n(n).leader_done(x)
-                })
-            },
+            |s| s.iter().all(|x| TournamentLe::for_n(n).leader_done(x)),
             budget,
             n as u64,
         );

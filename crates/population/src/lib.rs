@@ -8,17 +8,45 @@
 //! of distinct agents `(initiator, responder)` is drawn uniformly at random
 //! and both update their states through a common transition function.
 //!
+//! # Architecture
+//!
+//! The engine is split into three orthogonal layers:
+//!
+//! * **Scheduling** — [`schedule::Schedule`] owns the scheduling RNG and
+//!   produces the uniform ordered pairs. It serves the same random
+//!   stream two ways: one pair at a time (scalar stepping) or
+//!   pre-sampled in cache-sized blocks (the batched hot path). Because
+//!   both styles consume the stream in FIFO order, *every execution
+//!   mode yields the identical trajectory for a given seed*.
+//! * **Execution** — [`Simulator`] applies the protocol's transition
+//!   function to scheduled pairs. [`Simulator::step`] executes one
+//!   interaction; [`Simulator::run_batched`] is the hot path, executing
+//!   interactions in blocks with no per-interaction bookkeeping. The two
+//!   are bit-for-bit trajectory-equivalent under the same seed.
+//! * **Observation** — the [`observe::Observer`] pipeline. The engine
+//!   polls observers at checkpoints (every `check_every` interactions);
+//!   observers decide when to stop and what to record. Convergence
+//!   predicates ([`observe::Convergence`]), silence detection
+//!   ([`observe::Silence`]), time-series sampling ([`observe::Series`],
+//!   [`observe::Sampler`]), threshold crossings
+//!   ([`observe::Thresholds`]), and counters ([`observe::Meter`]) are
+//!   all observers, and tuples of observers compose. The entry point is
+//!   [`Simulator::run_observed`]; [`Simulator::run_until`] and
+//!   [`Simulator::run_sampled`] are sugar for the two most common cases.
+//!
 //! # Components
 //!
 //! * [`Protocol`] — the transition function and population size.
-//! * [`Simulator`] — a seeded, deterministic executor with convergence
-//!   detection ([`Simulator::run_until`]) and sampling observation
-//!   ([`Simulator::run_sampled`]).
+//! * [`Simulator`] — the seeded, deterministic executor described above.
+//! * [`schedule`] — the uniform scheduler with block pre-sampling.
+//! * [`observe`] — the composable observer pipeline.
 //! * [`silence`] — an exhaustive checker for the *silent* property: a
 //!   configuration is silent iff no ordered pair of agents would change
 //!   state when interacting.
 //! * [`runner`] — a scoped-thread fan-out for running many seeded
 //!   simulations in parallel.
+//! * [`modelcheck`] — exhaustive reachability exploration for tiny
+//!   populations.
 //! * [`primitives`] — self-contained reference protocols (one-way epidemic,
 //!   synthetic coin) used to validate the substrate against the paper's
 //!   Lemmas 14 and 28.
@@ -54,6 +82,25 @@
 //! let stop = sim.run_until(|s| s.iter().all(|&i| i), 1_000_000, 50);
 //! assert!(matches!(stop, StopReason::Converged(_)));
 //! ```
+//!
+//! Observers compose where a closure-based API would force a bespoke
+//! polling loop — e.g. sampling a time series *while* waiting for
+//! convergence:
+//!
+//! ```
+//! use population::observe::{Convergence, Series};
+//! use population::primitives::epidemic::Epidemic;
+//! use population::Simulator;
+//!
+//! let protocol = Epidemic::new(50);
+//! let init = protocol.initial(50);
+//! let mut sim = Simulator::new(protocol, init, 7);
+//! let mut done = Convergence::new(Epidemic::complete);
+//! let mut curve = Series::new(|s: &[_]| Epidemic::infected_count(s) as u64);
+//! sim.run_observed(1_000_000, 50, &mut (&mut done, &mut curve));
+//! assert!(done.converged_at().is_some());
+//! assert!(curve.rows().len() >= 2);
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -63,12 +110,16 @@ mod protocol;
 mod sim;
 
 pub mod modelcheck;
+pub mod observe;
 pub mod primitives;
 pub mod runner;
+pub mod schedule;
 pub mod silence;
 
+pub use observe::{Control, Observer};
 pub use pairs::pair_mut;
 pub use protocol::{Protocol, RankOutput};
+pub use schedule::Schedule;
 pub use sim::{Simulator, StopReason};
 
 /// Returns `true` iff the ranks output by `states` form a permutation of
@@ -107,19 +158,28 @@ pub fn ranked_count<S: RankOutput>(states: &[S]) -> usize {
 }
 
 /// Returns `true` iff at least two agents output the same rank.
+///
+/// Ranks outside `1..=n` are compared by value, not lumped together: two
+/// agents holding the *distinct* out-of-range ranks `n+1` and `n+2` are
+/// not duplicates, while two agents both holding `n+5` are.
 pub fn has_duplicate_rank<S: RankOutput>(states: &[S]) -> bool {
     let n = states.len();
     let mut seen = vec![false; n + 1];
+    let mut out_of_range = Vec::new();
     for s in states {
         if let Some(r) = s.rank() {
-            let idx = (r as usize).min(n);
-            if seen[idx] {
-                return true;
+            if r >= 1 && (r as usize) <= n {
+                if seen[r as usize] {
+                    return true;
+                }
+                seen[r as usize] = true;
+            } else {
+                out_of_range.push(r);
             }
-            seen[idx] = true;
         }
     }
-    false
+    out_of_range.sort_unstable();
+    out_of_range.windows(2).any(|w| w[0] == w[1])
 }
 
 #[cfg(test)]
@@ -165,6 +225,33 @@ mod tests {
         let dup = vec![R(Some(2)), R(None), R(Some(2))];
         assert!(has_duplicate_rank(&dup));
         let ok = vec![R(Some(2)), R(None), R(Some(1))];
+        assert!(!has_duplicate_rank(&ok));
+    }
+
+    #[test]
+    fn distinct_out_of_range_ranks_are_not_duplicates() {
+        // Regression: the old implementation clamped every out-of-range
+        // rank into the same bucket, reporting n+1 and n+2 as a
+        // duplicate pair.
+        let n_plus = vec![R(Some(4)), R(Some(5)), R(Some(1))];
+        assert!(!has_duplicate_rank(&n_plus));
+        let zero_and_high = vec![R(Some(0)), R(Some(9)), R(Some(1))];
+        assert!(!has_duplicate_rank(&zero_and_high));
+    }
+
+    #[test]
+    fn equal_out_of_range_ranks_are_duplicates() {
+        let states = vec![R(Some(8)), R(Some(8)), R(Some(1))];
+        assert!(has_duplicate_rank(&states));
+        let zeros = vec![R(Some(0)), R(Some(0)), R(Some(1))];
+        assert!(has_duplicate_rank(&zeros));
+    }
+
+    #[test]
+    fn boundary_rank_n_is_in_range() {
+        let states = vec![R(Some(3)), R(Some(3)), R(Some(1))];
+        assert!(has_duplicate_rank(&states));
+        let ok = vec![R(Some(3)), R(Some(2)), R(Some(1))];
         assert!(!has_duplicate_rank(&ok));
     }
 

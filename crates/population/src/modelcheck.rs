@@ -201,9 +201,7 @@ mod tests {
         assert_eq!(r.len(), 4, "one config per infection count");
         let silent = r.silent_configs();
         assert_eq!(silent.len(), 1);
-        assert!(silent[0]
-            .iter()
-            .all(|s| *s == EpidemicState::Infected));
+        assert!(silent[0].iter().all(|s| *s == EpidemicState::Infected));
         assert!(r.all_can_reach(Epidemic::complete));
     }
 
@@ -213,10 +211,7 @@ mod tests {
         let init = protocol.initial(3);
         let r = explore(&protocol, init, 10_000);
         for c in r.configs() {
-            let bystanders = c
-                .iter()
-                .filter(|s| **s == EpidemicState::Bystander)
-                .count();
+            let bystanders = c.iter().filter(|s| **s == EpidemicState::Bystander).count();
             assert_eq!(bystanders, 2, "bystander count is invariant");
         }
     }

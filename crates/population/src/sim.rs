@@ -1,18 +1,18 @@
-use rand::rngs::SmallRng;
-use rand::{RngExt, SeedableRng};
-
+use crate::observe::{Convergence, Observer, Sampler};
 use crate::pairs::pair_mut;
 use crate::protocol::Protocol;
+use crate::schedule::{Schedule, BLOCK_PAIRS};
 
 /// Why a bounded run stopped.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum StopReason {
-    /// The convergence predicate became true; the payload is the number of
-    /// interactions executed when it was first observed true. Because the
-    /// predicate is polled every `check_every` interactions, the reported
-    /// time overshoots the true hitting time by less than `check_every`.
+    /// An observer requested a stop; the payload is the number of
+    /// interactions executed at the checkpoint where it did. Because
+    /// observers are polled every `check_every` interactions, the
+    /// reported time overshoots the true hitting time by less than
+    /// `check_every`.
     Converged(u64),
-    /// The interaction budget was exhausted without convergence.
+    /// The interaction budget was exhausted without an observer stop.
     BudgetExhausted,
 }
 
@@ -28,9 +28,21 @@ impl StopReason {
 
 /// A seeded, deterministic executor for a [`Protocol`].
 ///
-/// Each [`step`](Simulator::step) draws an ordered pair of distinct agents
-/// uniformly at random (the *uniform scheduler* of the paper) and applies
-/// the protocol's transition function.
+/// Pair selection lives in a [`Schedule`] (the paper's *uniform
+/// scheduler*); the simulator applies the protocol's transition function
+/// to each scheduled pair. Two execution paths share the same random
+/// stream:
+///
+/// * [`step`](Simulator::step) — one interaction at a time;
+/// * [`run_batched`](Simulator::run_batched) — the hot path: pairs are
+///   pre-sampled in blocks and applied in a tight loop. **Bit-for-bit
+///   trajectory-equivalent** to scalar stepping under the same seed.
+///
+/// Observation happens through the [`Observer`] pipeline via
+/// [`run_observed`](Simulator::run_observed), with
+/// [`run_until`](Simulator::run_until) and
+/// [`run_sampled`](Simulator::run_sampled) as sugar for the two most
+/// common observers.
 ///
 /// ```
 /// use population::{Protocol, Simulator};
@@ -58,13 +70,13 @@ impl StopReason {
 pub struct Simulator<P: Protocol> {
     protocol: P,
     states: Vec<P::State>,
-    rng: SmallRng,
+    schedule: Schedule,
     interactions: u64,
 }
 
 impl<P: Protocol> Simulator<P> {
-    /// Create a simulator over `initial` states using a deterministic RNG
-    /// seeded with `seed`.
+    /// Create a simulator over `initial` states whose schedule is
+    /// deterministically seeded with `seed`.
     ///
     /// # Panics
     ///
@@ -77,10 +89,11 @@ impl<P: Protocol> Simulator<P> {
             "initial configuration size must match protocol.n()"
         );
         assert!(initial.len() >= 2, "population needs at least two agents");
+        let schedule = Schedule::new(initial.len(), seed);
         Self {
             protocol,
             states: initial,
-            rng: SmallRng::seed_from_u64(seed),
+            schedule,
             interactions: 0,
         }
     }
@@ -102,61 +115,103 @@ impl<P: Protocol> Simulator<P> {
 
     /// Execute one interaction; returns `true` iff a state changed.
     pub fn step(&mut self) -> bool {
-        let n = self.states.len();
-        let i = self.rng.random_range(0..n);
-        let j = {
-            // Uniform over the n-1 others: draw from 0..n-1 and skip i.
-            let r = self.rng.random_range(0..n - 1);
-            if r >= i {
-                r + 1
-            } else {
-                r
-            }
-        };
+        let (i, j) = self.schedule.next_pair();
         self.interactions += 1;
         let (u, v) = pair_mut(&mut self.states, i, j);
         self.protocol.transition(u, v)
     }
 
-    /// Execute exactly `count` interactions.
-    pub fn run(&mut self, count: u64) {
-        for _ in 0..count {
-            self.step();
+    /// Execute exactly `count` interactions through the batched hot
+    /// path. Trajectory-equivalent to calling [`step`](Simulator::step)
+    /// `count` times (same seed ⇒ same pairs ⇒ same configuration), but
+    /// substantially faster: pairs are pre-sampled in blocks of
+    /// [`BLOCK_PAIRS`], amortizing scheduler overhead, and transitions
+    /// are applied read–compute–writeback on cloned states, which avoids
+    /// the slice-splitting branches of [`pair_mut`] in the inner loop
+    /// (states are small `Copy`-like values in every protocol here, so
+    /// the clones compile to register moves).
+    pub fn run_batched(&mut self, count: u64) {
+        let mut remaining = count;
+        while remaining > 0 {
+            let want = remaining.min(BLOCK_PAIRS as u64) as usize;
+            let block = self.schedule.sample_block(want);
+            let states = &mut self.states;
+            for &(i, j) in block {
+                let mut u = states[i as usize].clone();
+                let mut v = states[j as usize].clone();
+                self.protocol.transition(&mut u, &mut v);
+                states[i as usize] = u;
+                states[j as usize] = v;
+            }
+            let executed = block.len() as u64;
+            self.interactions += executed;
+            remaining -= executed;
         }
     }
 
-    /// Run until `converged` returns true (polled every `check_every`
-    /// interactions, and once before the first step) or until
-    /// `max_interactions` have been executed.
+    /// Execute exactly `count` interactions (batched).
+    pub fn run(&mut self, count: u64) {
+        self.run_batched(count);
+    }
+
+    /// Drive the simulation under an [`Observer`]: the observer is
+    /// polled once before the first step and then every `check_every`
+    /// interactions, until it stops the run or `max_interactions` have
+    /// been executed.
     ///
     /// # Panics
     ///
     /// Panics if `check_every == 0`.
-    pub fn run_until(
+    pub fn run_observed<O: Observer<P>>(
         &mut self,
-        mut converged: impl FnMut(&[P::State]) -> bool,
         max_interactions: u64,
         check_every: u64,
+        observer: &mut O,
     ) -> StopReason {
         assert!(check_every > 0, "check_every must be positive");
-        if converged(&self.states) {
+        if observer
+            .observe(&self.protocol, self.interactions, &self.states)
+            .is_stop()
+        {
             return StopReason::Converged(self.interactions);
         }
         let deadline = self.interactions + max_interactions;
         while self.interactions < deadline {
             let burst = check_every.min(deadline - self.interactions);
-            self.run(burst);
-            if converged(&self.states) {
+            self.run_batched(burst);
+            if observer
+                .observe(&self.protocol, self.interactions, &self.states)
+                .is_stop()
+            {
                 return StopReason::Converged(self.interactions);
             }
         }
         StopReason::BudgetExhausted
     }
 
+    /// Run until `converged` returns true (polled every `check_every`
+    /// interactions, and once before the first step) or until
+    /// `max_interactions` have been executed. Sugar for
+    /// [`run_observed`](Simulator::run_observed) with a
+    /// [`Convergence`] observer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `check_every == 0`.
+    pub fn run_until(
+        &mut self,
+        converged: impl FnMut(&[P::State]) -> bool,
+        max_interactions: u64,
+        check_every: u64,
+    ) -> StopReason {
+        let mut observer = Convergence::new(converged);
+        self.run_observed(max_interactions, check_every, &mut observer)
+    }
+
     /// Run `max_interactions` interactions, invoking `observe` on the
     /// configuration every `sample_every` interactions (and once at the
-    /// start). Useful for recording time series such as Figure 2 of the
-    /// paper.
+    /// start). Sugar for [`run_observed`](Simulator::run_observed) with
+    /// a [`Sampler`] observer.
     ///
     /// # Panics
     ///
@@ -165,16 +220,11 @@ impl<P: Protocol> Simulator<P> {
         &mut self,
         max_interactions: u64,
         sample_every: u64,
-        mut observe: impl FnMut(u64, &[P::State]),
+        observe: impl FnMut(u64, &[P::State]),
     ) {
-        assert!(sample_every > 0, "sample_every must be positive");
-        observe(self.interactions, &self.states);
-        let deadline = self.interactions + max_interactions;
-        while self.interactions < deadline {
-            let burst = sample_every.min(deadline - self.interactions);
-            self.run(burst);
-            observe(self.interactions, &self.states);
-        }
+        let mut observer = Sampler::new(observe);
+        let stop = self.run_observed(max_interactions, sample_every, &mut observer);
+        debug_assert_eq!(stop, StopReason::BudgetExhausted, "samplers never stop");
     }
 
     /// Consume the simulator, returning the final configuration.
@@ -217,6 +267,39 @@ mod tests {
         a.run(5000);
         b.run(5000);
         assert_ne!(a.states(), b.states());
+    }
+
+    #[test]
+    fn batched_equals_scalar_stepping() {
+        let mut scalar = Simulator::new(Count, vec![(0, 0); 16], 42);
+        let mut batched = Simulator::new(Count, vec![(0, 0); 16], 42);
+        for _ in 0..9999 {
+            scalar.step();
+        }
+        batched.run_batched(9999);
+        assert_eq!(scalar.states(), batched.states());
+        assert_eq!(scalar.interactions(), batched.interactions());
+        // And the streams stay aligned afterwards.
+        scalar.step();
+        batched.step();
+        assert_eq!(scalar.states(), batched.states());
+    }
+
+    #[test]
+    fn mixed_scalar_and_batched_execution_is_equivalent() {
+        let mut pure = Simulator::new(Count, vec![(0, 0); 16], 7);
+        let mut mixed = Simulator::new(Count, vec![(0, 0); 16], 7);
+        pure.run_batched(10_000);
+        for _ in 0..123 {
+            mixed.step();
+        }
+        mixed.run_batched(7000);
+        for _ in 0..77 {
+            mixed.step();
+        }
+        mixed.run_batched(2800);
+        assert_eq!(mixed.interactions(), 10_000);
+        assert_eq!(pure.states(), mixed.states());
     }
 
     #[test]
@@ -275,11 +358,7 @@ mod tests {
         // Converges when total initiator count reaches 77; polling every 50
         // must report within 50 interactions of the true hitting time.
         let mut sim = Simulator::new(Count, vec![(0, 0); 16], 5);
-        let stop = sim.run_until(
-            |s| s.iter().map(|x| x.0).sum::<u64>() >= 77,
-            10_000,
-            50,
-        );
+        let stop = sim.run_until(|s| s.iter().map(|x| x.0).sum::<u64>() >= 77, 10_000, 50);
         let t = stop.converged_at().expect("must converge");
         assert!((77..77 + 50).contains(&t), "t = {t}");
     }

@@ -11,6 +11,7 @@
 //! Run with: `cargo run --release --example phase_trace`
 
 use silent_ranking::leader_election::tournament::TournamentLe;
+use silent_ranking::population::observe::{Convergence, Sampler};
 use silent_ranking::population::{is_valid_ranking, Simulator};
 use silent_ranking::ranking::space_efficient::SpaceEfficientRanking;
 use silent_ranking::ranking::Params;
@@ -41,9 +42,11 @@ fn main() {
     );
     let step = (n * n / 2) as u64;
     let budget = 400 * (n as u64) * (n as u64);
+    // Observer pipeline: print composition changes while waiting for the
+    // ranking to complete.
     let mut last = None;
-    while sim.interactions() < budget {
-        let snap = SpaceEfficientRanking::<TournamentLe>::snapshot(sim.states());
+    let mut trace = Sampler::new(|t: u64, states: &[_]| {
+        let snap = SpaceEfficientRanking::<TournamentLe>::snapshot(states);
         let row = (
             snap.electing,
             snap.waiting,
@@ -55,7 +58,7 @@ fn main() {
         if last != Some(row) {
             println!(
                 "{:>10.2}  {:>8}  {:>8}  {:>8}  {:>8}  {:>9}",
-                sim.interactions() as f64 / (n * n) as f64,
+                t as f64 / (n * n) as f64,
                 snap.electing,
                 snap.waiting,
                 snap.phase_agents,
@@ -64,11 +67,9 @@ fn main() {
             );
             last = Some(row);
         }
-        if is_valid_ranking(sim.states()) {
-            break;
-        }
-        sim.run(step);
-    }
+    });
+    let mut done = Convergence::new(is_valid_ranking);
+    sim.run_observed(budget, step, &mut (&mut trace, &mut done));
     assert!(is_valid_ranking(sim.states()), "ranking must complete");
     println!(
         "\ncomplete after {:.2} n^2 interactions — note the waiting agent \

@@ -7,6 +7,7 @@
 //!
 //! Run with: `cargo run --release --example quickstart`
 
+use silent_ranking::population::observe::{Convergence, Sampler};
 use silent_ranking::population::{is_valid_ranking, silence, Simulator};
 use silent_ranking::ranking::audit::{stable_state_bound, StateAudit};
 use silent_ranking::ranking::stable::StableRanking;
@@ -29,20 +30,18 @@ fn main() {
     let init = protocol.adversarial_uniform(2024);
     let mut sim = Simulator::new(protocol, init, 7);
 
+    // Observer pipeline: record the state audit at every checkpoint
+    // while waiting for the configuration to become a valid ranking.
     let mut audit = StateAudit::new();
     let budget = 400 * (n as u64) * (n as u64); // ≫ the typical n² log n
     let check = n as u64;
-    let mut stabilized_at = None;
-    while sim.interactions() < budget {
-        sim.run(check);
-        audit.record(&params, sim.states());
-        if is_valid_ranking(sim.states()) {
-            stabilized_at = Some(sim.interactions());
-            break;
-        }
-    }
+    let mut record = Sampler::new(|_, states: &[_]| audit.record(&params, states));
+    let mut done = Convergence::new(is_valid_ranking);
+    let stop = sim.run_observed(budget, check, &mut (&mut record, &mut done));
 
-    let t = stabilized_at.expect("StableRanking stabilizes w.h.p. well within budget");
+    let t = stop
+        .converged_at()
+        .expect("StableRanking stabilizes w.h.p. well within budget");
     println!(
         "stabilized after       : {t} interactions ({:.2} n^2 log2 n)",
         t as f64 / ((n * n) as f64 * (n as f64).log2())

@@ -26,11 +26,7 @@ fn stable_ranking_implies_leader_election() {
     sim.run_until(is_valid_ranking, budget(n, 6000.0), n as u64)
         .converged_at()
         .expect("stabilizes");
-    let leaders = sim
-        .states()
-        .iter()
-        .filter(|s| s.rank() == Some(1))
-        .count();
+    let leaders = sim.states().iter().filter(|s| s.rank() == Some(1)).count();
     assert_eq!(leaders, 1, "exactly one agent outputs 'leader'");
 }
 
@@ -51,7 +47,10 @@ fn space_efficient_protocol_composes_with_tournament_le() {
             successes += 1;
         }
     }
-    assert!(successes >= 4, "only {successes}/5 runs reached a silent ranking");
+    assert!(
+        successes >= 4,
+        "only {successes}/5 runs reached a silent ranking"
+    );
 }
 
 #[test]
@@ -107,7 +106,10 @@ fn figure2_and_figure3_initializations_are_well_formed() {
     let p = StableRanking::new(Params::new(n));
     let f2 = p.figure2();
     assert_eq!(f2.len(), n);
-    assert!(!is_valid_ranking(&f2), "Figure 2 starts invalid (rank 1 missing)");
+    assert!(
+        !is_valid_ranking(&f2),
+        "Figure 2 starts invalid (rank 1 missing)"
+    );
     let f3 = p.figure3();
     assert_eq!(f3.len(), n);
     assert_eq!(

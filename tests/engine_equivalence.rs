@@ -1,0 +1,157 @@
+//! The engine's load-bearing invariant: `run_batched` is bit-for-bit
+//! trajectory-equivalent to scalar `step`-by-`step` execution under the
+//! same seed, for every protocol and every batch-size decomposition.
+//! Everything else in this repository (figure regeneration, theorem
+//! validation, the throughput numbers in `BENCH_engine.json`) leans on
+//! this property — the batched hot path must be a pure optimization.
+
+use proptest::prelude::*;
+
+use silent_ranking::baselines::cai::CaiRanking;
+use silent_ranking::population::primitives::coin::CoinPopulation;
+use silent_ranking::population::primitives::epidemic::Epidemic;
+use silent_ranking::population::{Protocol, Simulator};
+use silent_ranking::ranking::stable::StableRanking;
+use silent_ranking::ranking::Params;
+
+/// Run `total` interactions twice from identical initial conditions —
+/// once through scalar `step`, once through `run_batched` in chunks of
+/// `batch` — and assert the final configurations and interaction
+/// counters coincide exactly.
+fn assert_equivalent<P, F>(make: F, seed: u64, total: u64, batch: u64)
+where
+    P: Protocol,
+    F: Fn() -> (P, Vec<P::State>),
+{
+    let (protocol, init) = make();
+    let mut scalar = Simulator::new(protocol, init, seed);
+    for _ in 0..total {
+        scalar.step();
+    }
+
+    let (protocol, init) = make();
+    let mut batched = Simulator::new(protocol, init, seed);
+    let mut left = total;
+    while left > 0 {
+        let chunk = batch.min(left);
+        batched.run_batched(chunk);
+        left -= chunk;
+    }
+
+    assert_eq!(scalar.interactions(), batched.interactions());
+    assert_eq!(
+        scalar.states(),
+        batched.states(),
+        "trajectories diverged (seed {seed}, total {total}, batch {batch})"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 25, ..ProptestConfig::default() })]
+
+    #[test]
+    fn epidemic_batched_equals_scalar(
+        seed in 0u64..10_000,
+        total in 0u64..30_000,
+        batch in 1u64..6000,
+    ) {
+        assert_equivalent(
+            || {
+                let p = Epidemic::new(200);
+                let init = p.initial(100);
+                (p, init)
+            },
+            seed,
+            total,
+            batch,
+        );
+    }
+
+    #[test]
+    fn coin_batched_equals_scalar(
+        seed in 0u64..10_000,
+        total in 0u64..30_000,
+        batch in 1u64..6000,
+    ) {
+        assert_equivalent(
+            || {
+                let p = CoinPopulation::new(64);
+                let init = p.all_tails();
+                (p, init)
+            },
+            seed,
+            total,
+            batch,
+        );
+    }
+
+    #[test]
+    fn cai_batched_equals_scalar(
+        seed in 0u64..10_000,
+        total in 0u64..20_000,
+        batch in 1u64..6000,
+    ) {
+        assert_equivalent(
+            || {
+                let p = CaiRanking::new(32);
+                let init = p.all_equal();
+                (p, init)
+            },
+            seed,
+            total,
+            batch,
+        );
+    }
+
+    #[test]
+    fn stable_ranking_batched_equals_scalar(
+        config_seed in 0u64..10_000,
+        seed in 0u64..10_000,
+        total in 0u64..20_000,
+        batch in 1u64..6000,
+    ) {
+        assert_equivalent(
+            || {
+                let p = StableRanking::new(Params::new(48));
+                let init = p.adversarial_uniform(config_seed);
+                (p, init)
+            },
+            seed,
+            total,
+            batch,
+        );
+    }
+
+    /// Batch-size decompositions beyond fixed chunks: interleave scalar
+    /// steps with batched bursts of varying sizes and compare against a
+    /// single straight batched run.
+    #[test]
+    fn interleaved_execution_equals_pure_batched(
+        seed in 0u64..10_000,
+        a in 0u64..3000,
+        b in 0u64..3000,
+        c in 0u64..3000,
+    ) {
+        let total = a + b + c;
+        let make = || {
+            let p = StableRanking::new(Params::new(32));
+            let init = p.figure3();
+            (p, init)
+        };
+
+        let (protocol, init) = make();
+        let mut pure = Simulator::new(protocol, init, seed);
+        pure.run_batched(total);
+
+        let (protocol, init) = make();
+        let mut mixed = Simulator::new(protocol, init, seed);
+        mixed.run_batched(a);
+        for _ in 0..b {
+            mixed.step();
+        }
+        mixed.run_batched(c);
+
+        prop_assert_eq!(mixed.interactions(), total);
+        prop_assert_eq!(pure.states(), mixed.states());
+    }
+}

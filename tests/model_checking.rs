@@ -12,8 +12,8 @@ use silent_ranking::baselines::cai::CaiRanking;
 use silent_ranking::baselines::naive::NaiveLeaderRanking;
 use silent_ranking::leader_election::tournament::TournamentLe;
 use silent_ranking::leader_election::LeaderElectionBehavior;
-use silent_ranking::population::modelcheck::explore;
 use silent_ranking::population::is_valid_ranking;
+use silent_ranking::population::modelcheck::explore;
 use silent_ranking::ranking::space_efficient::{SeState, SpaceEfficientRanking};
 use silent_ranking::ranking::stable::StableRanking;
 use silent_ranking::ranking::Params;
@@ -144,7 +144,10 @@ fn base_ranking_failure_paths_all_carry_duplicates_n6() {
     let r = explore(&protocol, init, 1_000_000);
     assert!(!r.truncated());
     let stuck = r.configs_cannot_reach(is_valid_ranking);
-    assert!(!stuck.is_empty(), "Theorem 1's w.h.p. caveat must be visible");
+    assert!(
+        !stuck.is_empty(),
+        "Theorem 1's w.h.p. caveat must be visible"
+    );
     for c in &stuck {
         assert!(
             silent_ranking::population::has_duplicate_rank(c),
@@ -195,13 +198,15 @@ fn tournament_le_exhaustive_always_leaves_a_leader_path_n3() {
     // The substitute LE protocol: from the initial configuration, every
     // reachable configuration can reach one with at least one leader and
     // all agents done.
-    let le = TournamentLe { epochs: 3, epoch_len: 2 };
+    let le = TournamentLe {
+        epochs: 3,
+        epoch_len: 2,
+    };
     let protocol = silent_ranking::leader_election::LeaderElectionProtocol::new(le, 3);
     let r = explore(&protocol, protocol.initial(), 2_000_000);
     assert!(!r.truncated());
     let goal = |c: &[_]| {
-        c.iter().all(|s| le.leader_done(s))
-            && c.iter().filter(|s| le.is_leader(s)).count() >= 1
+        c.iter().all(|s| le.leader_done(s)) && c.iter().filter(|s| le.is_leader(s)).count() >= 1
     };
     assert!(r.all_can_reach(goal));
 }

@@ -4,6 +4,7 @@
 use silent_ranking::analysis::bounds::{negbin_upper, owe_upper};
 use silent_ranking::analysis::fit::power_fit;
 use silent_ranking::analysis::stats::Summary;
+use silent_ranking::population::observe::{Convergence, Sampler};
 use silent_ranking::population::primitives::epidemic::Epidemic;
 use silent_ranking::population::runner::run_seed_range;
 use silent_ranking::population::{is_valid_ranking, Simulator};
@@ -49,13 +50,9 @@ fn observed_overhead_states_are_polylog() {
     let mut sim = Simulator::new(protocol, init, 9);
     let mut audit = StateAudit::new();
     let budget = stable_state_bound(&params);
-    for _ in 0..200_000 {
-        sim.run(32);
-        audit.record(&params, sim.states());
-        if is_valid_ranking(sim.states()) {
-            break;
-        }
-    }
+    let mut record = Sampler::new(|_, states: &[_]| audit.record(&params, states));
+    let mut done = Convergence::new(is_valid_ranking);
+    sim.run_observed(200_000 * 32, 32, &mut (&mut record, &mut done));
     assert!(is_valid_ranking(sim.states()), "must stabilize");
     assert!(
         (audit.distinct() as u64) <= budget.total(),
@@ -76,13 +73,9 @@ fn epidemic_times_respect_lemma_14() {
             let protocol = Epidemic::new(n);
             let init = protocol.initial(m);
             let mut sim = Simulator::new(protocol, init, seed);
-            sim.run_until(
-                Epidemic::complete,
-                (10.0 * bound) as u64,
-                (n / 4) as u64,
-            )
-            .converged_at()
-            .expect("epidemic completes") as f64
+            sim.run_until(Epidemic::complete, (10.0 * bound) as u64, (n / 4) as u64)
+                .converged_at()
+                .expect("epidemic completes") as f64
         });
         let max = times.iter().cloned().fold(f64::MIN, f64::max);
         assert!(
@@ -101,12 +94,7 @@ fn waiting_period_is_within_negbin_bound() {
     let n = 64usize;
     let params = Params::new(n);
     // Phase 1: f_1 − 1 = n − 1 phase agents; p = (n−1)/(n(n−1)) = 1/n.
-    let bound = negbin_upper(
-        f64::from(params.wait_max()),
-        1.0 / n as f64,
-        n as f64,
-        2.0,
-    );
+    let bound = negbin_upper(f64::from(params.wait_max()), 1.0 / n as f64, n as f64, 2.0);
     // The bound must at least cover waitMax · n (the mean).
     let mean = f64::from(params.wait_max()) * n as f64;
     assert!(

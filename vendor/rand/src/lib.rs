@@ -1,0 +1,229 @@
+//! Vendored stand-in for the `rand` crate.
+//!
+//! The build environment has no network access to crates.io, so this
+//! workspace vendors the small slice of the `rand` API it actually uses:
+//! [`rngs::SmallRng`], [`SeedableRng::seed_from_u64`], and the
+//! [`RngExt`] extension methods `random_range` / `random_bool`.
+//!
+//! The generator is xoshiro256++ seeded through SplitMix64 — the same
+//! construction `rand`'s 64-bit `SmallRng` uses. Statistical quality is
+//! more than sufficient for simulation scheduling; cryptographic use is
+//! out of scope. Determinism is the load-bearing property: every
+//! simulation in this repository is reproducible from a `u64` seed, and
+//! all integer sampling is unbiased (widening-multiply with rejection).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::ops::{Range, RangeInclusive};
+
+/// Minimal core RNG interface: a source of uniform `u64`s.
+pub trait RngCore {
+    /// The next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Construction of a deterministic RNG from a `u64` seed.
+pub trait SeedableRng: Sized {
+    /// Build the generator from a single `u64` seed (expanded internally).
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Types that can sample a value of type `T` from an RNG — implemented
+/// for half-open and inclusive integer ranges.
+pub trait SampleRange<T> {
+    /// Draw one uniform value from the range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn sample_from(self, rng: &mut dyn RngCore) -> T;
+}
+
+/// Unbiased uniform draw from `[0, range)` via Lemire's widening-multiply
+/// method with rejection.
+fn u64_below(rng: &mut dyn RngCore, range: u64) -> u64 {
+    debug_assert!(range > 0);
+    let mut m = u128::from(rng.next_u64()) * u128::from(range);
+    let mut lo = m as u64;
+    if lo < range {
+        let threshold = range.wrapping_neg() % range;
+        while lo < threshold {
+            m = u128::from(rng.next_u64()) * u128::from(range);
+            lo = m as u64;
+        }
+    }
+    (m >> 64) as u64
+}
+
+macro_rules! impl_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_from(self, rng: &mut dyn RngCore) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as u64) - (self.start as u64);
+                self.start + (u64_below(rng, span) as $t)
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_from(self, rng: &mut dyn RngCore) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "cannot sample empty range");
+                let span = (end as u64) - (start as u64);
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                start + (u64_below(rng, span + 1) as $t)
+            }
+        }
+    )*};
+}
+
+impl_sample_range!(u8, u16, u32, u64, usize);
+
+/// Extension methods on any [`RngCore`] (the subset of `rand::Rng` this
+/// workspace uses).
+pub trait RngExt: RngCore {
+    /// Uniform draw from an integer range.
+    fn random_range<T, R: SampleRange<T>>(&mut self, range: R) -> T
+    where
+        Self: Sized,
+    {
+        range.sample_from(self)
+    }
+
+    /// Bernoulli draw: `true` with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0.0 <= p <= 1.0`.
+    fn random_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        assert!((0.0..=1.0).contains(&p), "probability must be in [0, 1]");
+        // 53 uniform mantissa bits -> uniform f64 in [0, 1).
+        let x = (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        x < p
+    }
+}
+
+impl<R: RngCore> RngExt for R {}
+
+pub mod rngs {
+    //! Concrete generators.
+
+    use super::{RngCore, SeedableRng};
+
+    /// xoshiro256++ — a small, fast, high-quality non-cryptographic PRNG.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct SmallRng {
+        s: [u64; 4],
+    }
+
+    /// SplitMix64 state expander (the reference seeding procedure for
+    /// xoshiro generators).
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for SmallRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut sm = seed;
+            Self {
+                s: [
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                ],
+            }
+        }
+    }
+
+    impl RngCore for SmallRng {
+        #[inline]
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::{RngCore, RngExt, SeedableRng};
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = SmallRng::seed_from_u64(7);
+        let mut b = SmallRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = SmallRng::seed_from_u64(1);
+        let mut b = SmallRng::seed_from_u64(2);
+        let same = (0..16).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(same < 2);
+    }
+
+    #[test]
+    fn range_draws_stay_in_bounds_and_cover() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mut seen = [false; 10];
+        for _ in 0..1000 {
+            let x = rng.random_range(0..10usize);
+            seen[x] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all residues hit in 1000 draws");
+        for _ in 0..1000 {
+            let x = rng.random_range(5..=7u32);
+            assert!((5..=7).contains(&x));
+        }
+    }
+
+    #[test]
+    fn range_draws_are_roughly_uniform() {
+        let mut rng = SmallRng::seed_from_u64(11);
+        let mut counts = [0u32; 8];
+        for _ in 0..80_000 {
+            counts[rng.random_range(0..8usize)] += 1;
+        }
+        for &c in &counts {
+            assert!((9_000..11_000).contains(&c), "count {c} far from 10000");
+        }
+    }
+
+    #[test]
+    fn bool_probability_is_respected() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        let heads = (0..100_000).filter(|_| rng.random_bool(0.25)).count();
+        assert!((23_000..27_000).contains(&heads), "got {heads}");
+        assert!((0..100).all(|_| !rng.random_bool(0.0)));
+        assert!((0..100).all(|_| rng.random_bool(1.0)));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_range_panics() {
+        let mut rng = SmallRng::seed_from_u64(0);
+        let _ = rng.random_range(5..5u64);
+    }
+}
