@@ -8,10 +8,13 @@
 //! re-elect, and re-rank. Output: number of ranked agents and the mean
 //! phase of unranked phase agents as a function of interactions / n².
 //!
+//! Writes `BENCH_fig2.json` (override with `out=`) so the recovery
+//! curve is tracked as a regression artifact.
+//!
 //! Usage: `cargo run --release -p bench --bin fig2 -- [n=256] [seed=1]
-//! [horizon=60] [samples=120] [--csv]`
+//! [horizon=60] [samples=120] [out=BENCH_fig2.json] [--csv]`
 
-use bench::{f3, Experiment, Table};
+use bench::{f3, Experiment, Json, Table};
 use population::observe::Series;
 use population::{ranked_count, Simulator};
 use ranking::stable::{StableRanking, StableState};
@@ -63,6 +66,16 @@ fn main() {
         ]);
     }
     exp.emit(&table);
+
+    let payload = Json::obj([
+        ("n", n.into()),
+        ("seed", seed.into()),
+        ("horizon_n2", horizon_n2.into()),
+        ("resets_triggered", sim.protocol().resets_triggered().into()),
+        ("final_ranked", ranked_count(sim.states()).into()),
+        ("rows", Experiment::table_json(&table)),
+    ]);
+    exp.write_json("BENCH_fig2.json", payload);
 
     exp.note(&format!(
         "\nresets triggered: {}",

@@ -13,11 +13,14 @@
 //! fractions spaced like a coupon collector — ranking the next half of
 //! the remainder costs about as much as everything before it.
 //!
+//! Writes `BENCH_fig3.json` (override with `out=`) so the normalized
+//! crossing times are tracked as a regression artifact.
+//!
 //! Usage: `cargo run --release -p bench --bin fig3 -- [sims=25] [--full]
-//! [--csv]`
+//! [out=BENCH_fig3.json] [--csv]`
 
 use analysis::stats::Summary;
-use bench::{f3, Experiment, Table};
+use bench::{f3, Experiment, Json, Table};
 use population::observe::Thresholds;
 use population::{ranked_count, Simulator};
 use ranking::stable::StableRanking;
@@ -93,6 +96,13 @@ fn main() {
     }
 
     exp.emit(&table);
+    let payload = Json::obj([
+        ("sims", sims.into()),
+        ("min_exp", min_exp.into()),
+        ("max_exp", max_exp.into()),
+        ("rows", Experiment::table_json(&table)),
+    ]);
+    exp.write_json("BENCH_fig3.json", payload);
     exp.note(
         "\nexpected shape (paper): values roughly flat in n per fraction; \
          1/2 around 2-4, 15/16 around 6-10, successive fractions roughly \

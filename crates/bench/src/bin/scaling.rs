@@ -7,12 +7,16 @@
 //! Additionally reports `T/(n² log₂ n)`, which the theorems predict to
 //! be roughly constant.
 //!
+//! Writes `BENCH_scaling.json` (override with `out=`) recording both
+//! fits and the per-size rows, so exponent regressions are caught
+//! automatically.
+//!
 //! Usage: `cargo run --release -p bench --bin scaling -- [sims=8]
-//! [max_exp=8] [--csv]`
+//! [max_exp=8] [out=BENCH_scaling.json] [--csv]`
 
 use analysis::fit::power_fit;
 use bench::measure::{completed, ranking_times, summary};
-use bench::{f3, Experiment, Table};
+use bench::{f3, Experiment, Json, Table};
 use leader_election::tournament::TournamentLe;
 use ranking::space_efficient::SpaceEfficientRanking;
 use ranking::stable::StableRanking;
@@ -24,7 +28,7 @@ fn main() {
     let max_exp: u32 = exp.get("max_exp", 8);
     let sizes: Vec<usize> = (4..=max_exp).map(|e| 1usize << e).collect();
 
-    run_fit(
+    let stable = run_fit(
         &exp,
         &format!("Theorem 2: StableRanking stabilization, unit n^2 log2 n ({sims} sims)"),
         &sizes,
@@ -36,7 +40,7 @@ fn main() {
         },
     );
 
-    run_fit(
+    let space_efficient = run_fit(
         &exp,
         &format!("Theorem 1: SpaceEfficientRanking, unit n^2 log2 n ({sims} sims)"),
         &sizes,
@@ -47,9 +51,22 @@ fn main() {
             (protocol, init)
         },
     );
+
+    let payload = Json::obj([
+        ("sims", sims.into()),
+        (
+            "sizes",
+            Json::Arr(sizes.iter().map(|&n| n.into()).collect()),
+        ),
+        ("stable_ranking", stable),
+        ("space_efficient_ranking", space_efficient),
+    ]);
+    exp.write_json("BENCH_scaling.json", payload);
 }
 
-fn run_fit<P, F>(exp: &Experiment, title: &str, sizes: &[usize], sims: u64, make: F)
+/// Measure, emit the table, and return the JSON section for this
+/// protocol (rows + power fit).
+fn run_fit<P, F>(exp: &Experiment, title: &str, sizes: &[usize], sims: u64, make: F) -> Json
 where
     P: population::Protocol,
     P::State: population::RankOutput + Send,
@@ -88,4 +105,15 @@ where
         "power fit: T ~ {:.2} * n^{:.3} (R^2 = {:.4}) — expected exponent ~2.1-2.5",
         fit.a, fit.b, fit.r_squared
     ));
+    Json::obj([
+        ("rows", Experiment::table_json(&table)),
+        (
+            "power_fit",
+            Json::obj([
+                ("a", fit.a.into()),
+                ("b", fit.b.into()),
+                ("r_squared", fit.r_squared.into()),
+            ]),
+        ),
+    ])
 }

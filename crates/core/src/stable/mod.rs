@@ -165,7 +165,12 @@ impl StableRanking {
             .collect()
     }
 
-    fn random_state(&self, rng: &mut SmallRng) -> StableState {
+    /// One uniformly random state from the (valid) state space — the
+    /// per-agent building block of
+    /// [`adversarial_uniform`](StableRanking::adversarial_uniform),
+    /// exposed so fault injectors (the `scenarios` crate) can corrupt
+    /// individual agents with fresh garbage mid-run.
+    pub fn random_state(&self, rng: &mut SmallRng) -> StableState {
         let p = &self.params;
         let coin = rng.random_bool(0.5);
         match rng.random_range(0..6u8) {

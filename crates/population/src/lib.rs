@@ -12,8 +12,12 @@
 //!
 //! The engine is split into three orthogonal layers:
 //!
-//! * **Scheduling** — [`schedule::Schedule`] owns the scheduling RNG and
-//!   produces the uniform ordered pairs. It serves the same random
+//! * **Scheduling** — the [`schedule::PairSource`] trait produces the
+//!   ordered pairs; [`schedule::Schedule`] is the canonical
+//!   implementation (the paper's uniform scheduler), and adversarial
+//!   sources (biased, clustered, round-robin — see the `scenarios`
+//!   crate) plug into the same engine via
+//!   [`Simulator::with_source`]. Every source serves the same pair
 //!   stream two ways: one pair at a time (scalar stepping) or
 //!   pre-sampled in cache-sized blocks (the batched hot path). Because
 //!   both styles consume the stream in FIFO order, *every execution
@@ -23,6 +27,9 @@
 //!   interaction; [`Simulator::run_batched`] is the hot path, executing
 //!   interactions in blocks with no per-interaction bookkeeping. The two
 //!   are bit-for-bit trajectory-equivalent under the same seed.
+//!   [`Simulator::run_faulted`] splits the batched loop at exact
+//!   interaction counts where a [`FaultHook`] wants to corrupt the
+//!   configuration — the seam the fault-injection subsystem drives.
 //! * **Observation** — the [`observe::Observer`] pipeline. The engine
 //!   polls observers at checkpoints (every `check_every` interactions);
 //!   observers decide when to stop and what to record. Convergence
@@ -119,8 +126,8 @@ pub mod silence;
 pub use observe::{Control, Observer};
 pub use pairs::pair_mut;
 pub use protocol::{Protocol, RankOutput};
-pub use schedule::Schedule;
-pub use sim::{Simulator, StopReason};
+pub use schedule::{PairSource, Schedule};
+pub use sim::{FaultHook, NoFaults, Simulator, StopReason};
 
 /// Returns `true` iff the ranks output by `states` form a permutation of
 /// `1..=n`, i.e. the configuration is a *valid ranking* (the paper's legal

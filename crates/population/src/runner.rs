@@ -76,7 +76,19 @@ where
     run_seeds(&seeds, job)
 }
 
-fn available_workers() -> NonZeroUsize {
+/// Number of worker threads the runner fans out over.
+///
+/// Defaults to [`std::thread::available_parallelism`], overridable with
+/// the `SSR_WORKERS` environment variable (any positive integer) so CI
+/// and benchmarks can pin the thread fan-out deterministically — e.g.
+/// `SSR_WORKERS=1 cargo test` serializes every seed fan-out. Invalid or
+/// zero values are ignored.
+pub fn available_workers() -> NonZeroUsize {
+    if let Ok(v) = std::env::var("SSR_WORKERS") {
+        if let Some(k) = v.trim().parse::<usize>().ok().and_then(NonZeroUsize::new) {
+            return k;
+        }
+    }
     std::thread::available_parallelism().unwrap_or(NonZeroUsize::new(1).expect("1 is nonzero"))
 }
 
@@ -114,5 +126,24 @@ mod tests {
     fn seed_range_enumerates_from_zero() {
         let out = run_seed_range(5, |s| s);
         assert_eq!(out, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn ssr_workers_env_overrides_parallelism() {
+        // This is the only test that touches SSR_WORKERS, so there is no
+        // race with parallel test threads.
+        std::env::set_var("SSR_WORKERS", "3");
+        assert_eq!(available_workers().get(), 3);
+        std::env::set_var("SSR_WORKERS", "0"); // invalid: ignored
+        assert_ne!(available_workers().get(), 0);
+        std::env::set_var("SSR_WORKERS", "not-a-number"); // invalid: ignored
+        let fallback = available_workers();
+        assert!(fallback.get() >= 1);
+        std::env::remove_var("SSR_WORKERS");
+        // Results must still arrive in seed order under a pinned pool.
+        std::env::set_var("SSR_WORKERS", "2");
+        let out = run_seeds(&[4, 5, 6], |s| s * 2);
+        assert_eq!(out, vec![8, 10, 12]);
+        std::env::remove_var("SSR_WORKERS");
     }
 }

@@ -1,11 +1,13 @@
-//! The uniform random scheduler, factored out of the simulator.
+//! Pair scheduling: the [`PairSource`] abstraction and the paper's
+//! uniform random scheduler, [`Schedule`].
 //!
-//! A [`Schedule`] owns the scheduling RNG and produces the ordered pairs
-//! `(initiator, responder)` that drive a simulation. It supports two
-//! consumption styles over the *same* random stream:
+//! A pair source owns whatever state it needs (an RNG, a sweep counter)
+//! and produces the ordered pairs `(initiator, responder)` that drive a
+//! simulation. Every source supports two consumption styles over the
+//! *same* pair stream:
 //!
-//! * [`Schedule::next_pair`] — draw one pair, for scalar stepping;
-//! * [`Schedule::sample_block`] — pre-sample a block of pairs in one
+//! * [`PairSource::next_pair`] — draw one pair, for scalar stepping;
+//! * [`PairSource::sample_block`] — pre-sample a block of pairs in one
 //!   tight loop, for the batched hot path
 //!   ([`Simulator::run_batched`](crate::Simulator::run_batched)).
 //!
@@ -13,9 +15,18 @@
 //! order, so a simulation is **bit-for-bit trajectory-equivalent**
 //! whether it is stepped one interaction at a time, run in batches, or
 //! any interleaving of the two. Pre-sampling exists purely to make the
-//! hot path faster: the RNG state stays in registers across a whole
+//! hot path faster: the source's state stays in registers across a whole
 //! block instead of being reloaded per interaction, and the transition
 //! loop that follows runs without the sampler's branches in it.
+//!
+//! [`Schedule`] is the canonical implementation — the paper's uniform
+//! scheduler. Adversarial sources (biased, clustered/partitioned,
+//! round-robin) live in the `scenarios` crate and plug into the same
+//! [`Simulator`](crate::Simulator) via
+//! [`Simulator::with_source`](crate::Simulator::with_source), which is
+//! how protocols are run *off* the uniform-scheduler assumption. The
+//! [`BlockBuffer`] helper implements the FIFO buffering contract once so
+//! every source gets interleaving-safety for free.
 
 use rand::rngs::SmallRng;
 use rand::{RngCore, SeedableRng};
@@ -27,13 +38,96 @@ pub type Pair = (u32, u32);
 /// 2¹² pairs = 32 KiB of buffer, sized to stay in L1.
 pub const BLOCK_PAIRS: usize = 4096;
 
+/// A producer of ordered interaction pairs `(initiator, responder)`.
+///
+/// This is the scheduler seam of the engine: [`Schedule`] implements the
+/// paper's uniform scheduler, and the `scenarios` crate implements
+/// adversarial ones. Implementations must uphold two contracts:
+///
+/// 1. **Validity** — every produced pair `(i, j)` satisfies
+///    `i < n`, `j < n`, `i != j`.
+/// 2. **Single stream** — [`next_pair`](PairSource::next_pair) and
+///    [`sample_block`](PairSource::sample_block) consume the *same*
+///    underlying pair sequence in FIFO order, so scalar and batched
+///    execution (and any interleaving) follow the identical trajectory.
+///    Embedding a [`BlockBuffer`] and drawing pairs through one
+///    canonical function gives this property by construction.
+pub trait PairSource {
+    /// Population size the source draws pairs for.
+    fn n(&self) -> usize;
+
+    /// Draw the next ordered pair of the stream (scalar path).
+    fn next_pair(&mut self) -> (usize, usize);
+
+    /// Return the next at-most-`max` pairs of the stream as a block,
+    /// pre-sampling a fresh buffer if the previous one is exhausted
+    /// (batched path). The returned slice is nonempty for `max > 0`;
+    /// callers loop until they have consumed as many pairs as they need.
+    fn sample_block(&mut self, max: usize) -> &[Pair];
+}
+
+/// The FIFO block buffer shared by every [`PairSource`] implementation.
+///
+/// Holds pre-sampled pairs and serves them in order; when the buffer is
+/// exhausted, the owner refills it from its canonical pair-drawing
+/// function. Routing *both* the scalar and the batched path through the
+/// same buffer is what makes interleaved consumption seamless.
+#[derive(Debug, Clone, Default)]
+pub struct BlockBuffer {
+    block: Vec<Pair>,
+    pos: usize,
+}
+
+impl BlockBuffer {
+    /// New, empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Serve one pair: from the buffer if nonempty, else freshly drawn.
+    #[inline]
+    pub fn next_pair(&mut self, draw: impl FnOnce() -> Pair) -> (usize, usize) {
+        if self.pos < self.block.len() {
+            let (i, j) = self.block[self.pos];
+            self.pos += 1;
+            (i as usize, j as usize)
+        } else {
+            let (i, j) = draw();
+            (i as usize, j as usize)
+        }
+    }
+
+    /// Serve the next at-most-`max` buffered pairs, refilling an
+    /// exhausted buffer with `max.min(BLOCK_PAIRS)` draws first.
+    #[inline]
+    pub fn sample_block(&mut self, max: usize, mut draw: impl FnMut() -> Pair) -> &[Pair] {
+        if self.pos >= self.block.len() {
+            let count = max.min(BLOCK_PAIRS);
+            self.block.clear();
+            self.block.reserve(count);
+            for _ in 0..count {
+                self.block.push(draw());
+            }
+            self.pos = 0;
+        }
+        let start = self.pos;
+        let end = self.block.len().min(start + max);
+        self.pos = end;
+        &self.block[start..end]
+    }
+
+    /// Number of pairs currently buffered but not yet consumed.
+    pub fn buffered(&self) -> usize {
+        self.block.len() - self.pos
+    }
+}
+
 /// Seeded generator of uniform ordered pairs of distinct agents.
 #[derive(Debug, Clone)]
 pub struct Schedule {
     rng: SmallRng,
     n: usize,
-    block: Vec<Pair>,
-    pos: usize,
+    buf: BlockBuffer,
 }
 
 /// Draw one uniform ordered pair of distinct agents from a single
@@ -74,8 +168,7 @@ impl Schedule {
         Self {
             rng: SmallRng::seed_from_u64(seed),
             n,
-            block: Vec::new(),
-            pos: 0,
+            buf: BlockBuffer::new(),
         }
     }
 
@@ -89,14 +182,8 @@ impl Schedule {
     /// freely without perturbing the stream.
     #[inline]
     pub fn next_pair(&mut self) -> (usize, usize) {
-        if self.pos < self.block.len() {
-            let (i, j) = self.block[self.pos];
-            self.pos += 1;
-            (i as usize, j as usize)
-        } else {
-            let (i, j) = draw_pair(&mut self.rng, self.n);
-            (i as usize, j as usize)
-        }
+        let (rng, n) = (&mut self.rng, self.n);
+        self.buf.next_pair(|| draw_pair(rng, n))
     }
 
     /// Return the next at-most-`max` pairs of the stream as a block,
@@ -107,25 +194,29 @@ impl Schedule {
     /// they have consumed as many pairs as they need.
     #[inline]
     pub fn sample_block(&mut self, max: usize) -> &[Pair] {
-        if self.pos >= self.block.len() {
-            let count = max.min(BLOCK_PAIRS);
-            self.block.clear();
-            self.block.reserve(count);
-            let n = self.n;
-            for _ in 0..count {
-                self.block.push(draw_pair(&mut self.rng, n));
-            }
-            self.pos = 0;
-        }
-        let start = self.pos;
-        let end = self.block.len().min(start + max);
-        self.pos = end;
-        &self.block[start..end]
+        let (rng, n) = (&mut self.rng, self.n);
+        self.buf.sample_block(max, || draw_pair(rng, n))
     }
 
     /// Number of pairs currently buffered but not yet consumed.
     pub fn buffered(&self) -> usize {
-        self.block.len() - self.pos
+        self.buf.buffered()
+    }
+}
+
+impl PairSource for Schedule {
+    fn n(&self) -> usize {
+        Schedule::n(self)
+    }
+
+    #[inline]
+    fn next_pair(&mut self) -> (usize, usize) {
+        Schedule::next_pair(self)
+    }
+
+    #[inline]
+    fn sample_block(&mut self, max: usize) -> &[Pair] {
+        Schedule::sample_block(self, max)
     }
 }
 
@@ -221,5 +312,39 @@ mod tests {
     #[should_panic(expected = "at least two agents")]
     fn rejects_singleton_population() {
         let _ = Schedule::new(1, 0);
+    }
+
+    #[test]
+    fn trait_consumption_matches_inherent_consumption() {
+        let mut inherent = Schedule::new(30, 5);
+        let mut via_trait = Schedule::new(30, 5);
+        let dynamic: &mut dyn PairSource = &mut via_trait;
+        assert_eq!(dynamic.n(), 30);
+        for _ in 0..500 {
+            assert_eq!(inherent.next_pair(), dynamic.next_pair());
+        }
+        let a: Vec<Pair> = inherent.sample_block(64).to_vec();
+        let b: Vec<Pair> = dynamic.sample_block(64).to_vec();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn block_buffer_interleaves_fifo() {
+        // A counting draw function: the buffer must hand values back in
+        // exactly the order they were drawn, across both styles.
+        let mut next = 0u32;
+        // Captures `next` by mutable reference: the counter advances
+        // across every consumption style below.
+        let mut draw = || {
+            next += 1;
+            (next, next + 1)
+        };
+        let mut buf = BlockBuffer::new();
+        let first = buf.sample_block(3, &mut draw).to_vec();
+        assert_eq!(first, vec![(1, 2), (2, 3), (3, 4)]);
+        assert_eq!(buf.buffered(), 0);
+        assert_eq!(buf.next_pair(&mut draw), (4, 5));
+        let rest = buf.sample_block(2, &mut draw).to_vec();
+        assert_eq!(rest, vec![(5, 6), (6, 7)]);
     }
 }

@@ -1,7 +1,7 @@
 use crate::observe::{Convergence, Observer, Sampler};
 use crate::pairs::pair_mut;
 use crate::protocol::Protocol;
-use crate::schedule::{Schedule, BLOCK_PAIRS};
+use crate::schedule::{PairSource, Schedule, BLOCK_PAIRS};
 
 /// Why a bounded run stopped.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -26,12 +26,53 @@ impl StopReason {
     }
 }
 
+/// A hook for injecting faults into a run at exact interaction counts.
+///
+/// The engine itself knows nothing about fault semantics; it only agrees
+/// to (a) ask the hook where it next wants control and (b) hand it
+/// mutable access to the configuration when the run reaches that point.
+/// The `scenarios` crate's `FaultPlan` is the canonical implementation;
+/// an empty plan leaves [`Simulator::run_faulted`] bit-for-bit
+/// trajectory-equivalent to [`Simulator::run_batched`] (faults only ever
+/// mutate states, never the pair stream).
+pub trait FaultHook<P: Protocol> {
+    /// The earliest interaction count at (or after) `now` where the hook
+    /// wants to fire, or `None` if it never will again. The engine stops
+    /// the batched loop exactly there.
+    fn next_fire(&mut self, now: u64) -> Option<u64>;
+
+    /// Fire at interaction count `t` (i.e. after `t` interactions have
+    /// executed), mutating the configuration in place.
+    ///
+    /// Implementations **must advance** past `t`: a subsequent
+    /// [`next_fire`](FaultHook::next_fire)`(t)` must return a time
+    /// strictly greater than `t` (or `None`), otherwise the engine would
+    /// loop forever at one interaction count.
+    fn fire(&mut self, protocol: &P, t: u64, states: &mut [P::State]);
+}
+
+/// The trivial hook: never fires. `run_faulted` with this hook is
+/// exactly `run_batched`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoFaults;
+
+impl<P: Protocol> FaultHook<P> for NoFaults {
+    fn next_fire(&mut self, _now: u64) -> Option<u64> {
+        None
+    }
+
+    fn fire(&mut self, _protocol: &P, _t: u64, _states: &mut [P::State]) {}
+}
+
 /// A seeded, deterministic executor for a [`Protocol`].
 ///
-/// Pair selection lives in a [`Schedule`] (the paper's *uniform
-/// scheduler*); the simulator applies the protocol's transition function
-/// to each scheduled pair. Two execution paths share the same random
-/// stream:
+/// Pair selection lives in a [`PairSource`] — by default a [`Schedule`]
+/// (the paper's *uniform scheduler*), but any implementation can be
+/// plugged in via [`with_source`](Simulator::with_source) (the
+/// `scenarios` crate provides biased, clustered, and round-robin
+/// adversarial sources). The simulator applies the protocol's transition
+/// function to each scheduled pair. Two execution paths share the same
+/// pair stream:
 ///
 /// * [`step`](Simulator::step) — one interaction at a time;
 /// * [`run_batched`](Simulator::run_batched) — the hot path: pairs are
@@ -67,33 +108,53 @@ impl StopReason {
 /// assert!(sim.states().iter().all(|&s| s == 7));
 /// ```
 #[derive(Debug)]
-pub struct Simulator<P: Protocol> {
+pub struct Simulator<P: Protocol, S: PairSource = Schedule> {
     protocol: P,
     states: Vec<P::State>,
-    schedule: Schedule,
+    schedule: S,
     interactions: u64,
 }
 
 impl<P: Protocol> Simulator<P> {
-    /// Create a simulator over `initial` states whose schedule is
-    /// deterministically seeded with `seed`.
+    /// Create a simulator over `initial` states whose schedule is the
+    /// uniform scheduler, deterministically seeded with `seed`.
     ///
     /// # Panics
     ///
     /// Panics if `initial.len() != protocol.n()` or the population has
     /// fewer than two agents (no pair can interact).
     pub fn new(protocol: P, initial: Vec<P::State>, seed: u64) -> Self {
+        let schedule = Schedule::new(initial.len().max(2), seed);
+        Self::with_source(protocol, initial, schedule)
+    }
+}
+
+impl<P: Protocol, S: PairSource> Simulator<P, S> {
+    /// Create a simulator over `initial` states driven by an arbitrary
+    /// [`PairSource`] — the entry point for running a protocol off the
+    /// uniform-scheduler assumption (see the `scenarios` crate).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `initial.len() != protocol.n()`, if the population has
+    /// fewer than two agents, or if `source.n()` disagrees with the
+    /// population size.
+    pub fn with_source(protocol: P, initial: Vec<P::State>, source: S) -> Self {
         assert_eq!(
             initial.len(),
             protocol.n(),
             "initial configuration size must match protocol.n()"
         );
         assert!(initial.len() >= 2, "population needs at least two agents");
-        let schedule = Schedule::new(initial.len(), seed);
+        assert_eq!(
+            source.n(),
+            initial.len(),
+            "pair source population size must match the configuration"
+        );
         Self {
             protocol,
             states: initial,
-            schedule,
+            schedule: source,
             interactions: 0,
         }
     }
@@ -225,6 +286,44 @@ impl<P: Protocol> Simulator<P> {
         let mut observer = Sampler::new(observe);
         let stop = self.run_observed(max_interactions, sample_every, &mut observer);
         debug_assert_eq!(stop, StopReason::BudgetExhausted, "samplers never stop");
+    }
+
+    /// Execute exactly `count` interactions (batched), handing control
+    /// to `hook` at every interaction count where it asks to fire.
+    ///
+    /// The batched loop is split *exactly* at fire points, so faults are
+    /// injected at precise interaction counts — a fault scheduled at `t`
+    /// sees the configuration after exactly `t` interactions. Because
+    /// the pair stream is FIFO regardless of batch decomposition, and
+    /// hooks only mutate states, `run_faulted` with a hook that never
+    /// fires is **bit-for-bit trajectory-equivalent** to
+    /// [`run_batched`](Simulator::run_batched) (property-tested in
+    /// `tests/fault_recovery.rs`).
+    ///
+    /// Hooks due at the moment this method is entered fire before any
+    /// interaction executes; hooks due exactly at the end of the run
+    /// fire before it returns.
+    pub fn run_faulted<H: FaultHook<P>>(&mut self, count: u64, hook: &mut H) {
+        let deadline = self.interactions + count;
+        loop {
+            // Fire everything due at the current interaction count. The
+            // hook contract (fire advances past `t`) makes this loop
+            // finite.
+            while hook
+                .next_fire(self.interactions)
+                .is_some_and(|t| t <= self.interactions)
+            {
+                hook.fire(&self.protocol, self.interactions, &mut self.states);
+            }
+            if self.interactions >= deadline {
+                return;
+            }
+            let stop = match hook.next_fire(self.interactions) {
+                Some(t) if t < deadline => t,
+                _ => deadline,
+            };
+            self.run_batched(stop - self.interactions);
+        }
     }
 
     /// Consume the simulator, returning the final configuration.
@@ -391,5 +490,78 @@ mod tests {
     #[should_panic(expected = "must match protocol.n()")]
     fn rejects_mismatched_initial_configuration() {
         let _ = Simulator::new(Count, vec![(0, 0); 5], 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "pair source population size")]
+    fn rejects_mismatched_pair_source() {
+        let _ = Simulator::with_source(Count, vec![(0, 0); 16], Schedule::new(8, 0));
+    }
+
+    #[test]
+    fn with_source_uniform_schedule_equals_new() {
+        let mut a = Simulator::new(Count, vec![(0, 0); 16], 11);
+        let mut b = Simulator::with_source(Count, vec![(0, 0); 16], Schedule::new(16, 11));
+        a.run(4000);
+        b.run(4000);
+        assert_eq!(a.states(), b.states());
+    }
+
+    #[test]
+    fn run_faulted_with_no_faults_equals_run_batched() {
+        let mut plain = Simulator::new(Count, vec![(0, 0); 16], 9);
+        let mut faulted = Simulator::new(Count, vec![(0, 0); 16], 9);
+        plain.run_batched(12_345);
+        faulted.run_faulted(12_345, &mut NoFaults);
+        assert_eq!(plain.states(), faulted.states());
+        assert_eq!(plain.interactions(), faulted.interactions());
+    }
+
+    /// A hook that zeroes every counter at a fixed list of times.
+    struct ZeroAt {
+        times: Vec<u64>,
+        fired: Vec<u64>,
+    }
+
+    impl FaultHook<Count> for ZeroAt {
+        fn next_fire(&mut self, now: u64) -> Option<u64> {
+            self.times.iter().copied().find(|&t| t >= now)
+        }
+
+        fn fire(&mut self, _p: &Count, t: u64, states: &mut [(u64, u64)]) {
+            states.iter_mut().for_each(|s| *s = (0, 0));
+            self.fired.push(t);
+            self.times.retain(|&x| x > t);
+        }
+    }
+
+    #[test]
+    fn faults_fire_at_exact_interaction_counts() {
+        let mut sim = Simulator::new(Count, vec![(0, 0); 16], 4);
+        let mut hook = ZeroAt {
+            times: vec![0, 100, 250, 1000],
+            fired: Vec::new(),
+        };
+        sim.run_faulted(1000, &mut hook);
+        assert_eq!(hook.fired, vec![0, 100, 250, 1000]);
+        assert_eq!(sim.interactions(), 1000);
+        // The t = 1000 fault fires after the last interaction, so the
+        // final configuration is all-zero.
+        assert!(sim.states().iter().all(|&s| s == (0, 0)));
+    }
+
+    #[test]
+    fn fault_state_mutation_does_not_perturb_the_pair_stream() {
+        // Interaction counting restarts after the mid-run zeroing fault;
+        // totals over the remaining 600 interactions must still add up,
+        // and the pairs chosen must match the unfaulted run's stream.
+        let mut sim = Simulator::new(Count, vec![(0, 0); 16], 4);
+        let mut hook = ZeroAt {
+            times: vec![400],
+            fired: Vec::new(),
+        };
+        sim.run_faulted(1000, &mut hook);
+        let total: u64 = sim.states().iter().map(|s| s.0).sum();
+        assert_eq!(total, 600);
     }
 }

@@ -1,0 +1,66 @@
+//! Fault injection, adversarial scheduling, and recovery-time
+//! measurement for the ranking protocols.
+//!
+//! The paper's headline claim (Theorem 2) is *self-stabilization*:
+//! `StableRanking` reaches a silent, valid ranking from **any**
+//! configuration. The rest of this repository exercises adversarial
+//! *initial* states; this crate makes the adversary persistent —
+//! corrupting state mid-run, replacing agents, biasing coins, and bending
+//! the scheduler away from the uniform assumption — and measures how
+//! long the protocol takes to climb back.
+//!
+//! # The three layers
+//!
+//! * **Fault injection** ([`fault`]) — composable [`fault::Fault`]
+//!   injectors bound to firing schedules by a [`fault::FaultPlan`]
+//!   (exact interaction counts, fixed periods, or stochastic rates). The
+//!   plan implements [`population::FaultHook`], so
+//!   [`Simulator::run_faulted`](population::Simulator::run_faulted)
+//!   splits its batched loop at exactly the scheduled counts. An empty
+//!   plan is bit-for-bit trajectory-equivalent to `run_batched`.
+//!   Ready-made injectors for `StableRanking` (corruption, churn, rank
+//!   duplication/erasure, coin bias, full randomization) live in
+//!   [`ranking_faults`].
+//! * **Adversarial schedulers** ([`sched`]) — [`sched::BiasedSchedule`],
+//!   [`sched::ClusteredSchedule`], and [`sched::RoundRobinSchedule`]
+//!   implement [`population::PairSource`], plugging into the engine via
+//!   [`Simulator::with_source`](population::Simulator::with_source).
+//! * **Recovery measurement** ([`recovery`]) — [`recovery::Recovery`]
+//!   pairs each fired fault with the first checkpoint at which legality
+//!   holds again; [`recovery::run_recovery`] is the driver the `recovery`
+//!   bench binary (and `BENCH_recovery.json`) is built on.
+//!
+//! # Example: inject, recover, measure
+//!
+//! ```
+//! use population::{is_valid_ranking, Simulator};
+//! use ranking::stable::StableRanking;
+//! use ranking::Params;
+//! use scenarios::{ranking_faults, FaultPlan, Recovery, run_recovery};
+//!
+//! let n = 16;
+//! let protocol = StableRanking::new(Params::new(n));
+//! let plan_protocol = protocol.clone();
+//! // Start silent and legal, then corrupt 4 agents after 100 interactions.
+//! let mut sim = Simulator::new(protocol, plan_protocol.legal(), 7);
+//! let mut plan = FaultPlan::new(1).once(100, ranking_faults::corrupt(&plan_protocol, 4));
+//! let mut recovery = Recovery::new(|_: &StableRanking, s: &[_]| is_valid_ranking(s));
+//! run_recovery(&mut sim, &mut plan, &mut recovery, 50_000_000, n as u64);
+//!
+//! let event = &recovery.events()[0];
+//! assert_eq!(event.injected_at, 100);
+//! assert!(event.recovery_interactions().is_some(), "Theorem 2 in action");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod fault;
+pub mod ranking_faults;
+pub mod recovery;
+pub mod sched;
+mod util;
+
+pub use fault::{DuplicateRank, EraseRank, Fault, FaultPlan, FiredFault, MapStates, StateRewrite};
+pub use recovery::{run_recovery, Recovery, RecoveryEvent};
+pub use sched::{BiasedSchedule, ClusteredSchedule, RoundRobinSchedule};

@@ -1,0 +1,151 @@
+//! Ready-made fault injectors for the paper's `StableRanking`.
+//!
+//! Each constructor binds one of the generic injectors in
+//! [`crate::fault`] to `StableRanking`'s state space, covering the
+//! adversarial scenarios of the recovery benchmark:
+//!
+//! * [`corrupt`] — `k` agents overwritten with uniform garbage from the
+//!   protocol's full (valid) state space;
+//! * [`churn`] — `k` agents replaced by factory-new agents in the
+//!   initial leader-election state (agent replacement / churn);
+//! * [`duplicate_rank`] — a ranked agent's state copied onto victims,
+//!   the exact inconsistency Figure 2's worst case is built around;
+//! * [`erase_rank`] — ranked agents demoted to fresh joiners (rank
+//!   loss);
+//! * [`coin_bias`] — every synthetic coin forced to one side, attacking
+//!   the one-third/two-thirds balance Lemma 28's argument rests on;
+//! * [`randomize`] — the whole population re-drawn uniformly, i.e. a
+//!   fresh adversarial initialization mid-run.
+
+use rand::rngs::SmallRng;
+use rand::RngExt;
+use ranking::stable::state::{UnRole, UnState};
+use ranking::stable::{StableRanking, StableState};
+
+use crate::fault::{DuplicateRank, EraseRank, Fault, MapStates, StateRewrite};
+
+/// A factory-new agent: initial `FASTLEADERELECTION` state, random coin.
+fn fresh_joiner(protocol: &StableRanking) -> impl FnMut(&mut SmallRng) -> StableState {
+    let fast = *protocol.fast_le();
+    move |rng| {
+        StableState::Un(UnState {
+            coin: rng.random_bool(0.5),
+            role: UnRole::Elect(fast.initial_state()),
+        })
+    }
+}
+
+/// Transient corruption: `k` uniformly chosen agents overwritten with
+/// uniform garbage from the protocol's state space.
+pub fn corrupt(protocol: &StableRanking, k: usize) -> impl Fault<StableState> {
+    let p = protocol.clone();
+    StateRewrite::corrupt(k, move |rng: &mut SmallRng| p.random_state(rng))
+}
+
+/// Churn: `k` uniformly chosen agents replaced with factory-new agents
+/// (initial leader-election state, random coin) — state replacement is
+/// how the population model expresses an agent leaving and a new one
+/// joining.
+pub fn churn(protocol: &StableRanking, k: usize) -> impl Fault<StableState> {
+    StateRewrite::churn(k, fresh_joiner(protocol))
+}
+
+/// Rank duplication: one ranked agent's state copied onto `copies`
+/// victims.
+pub fn duplicate_rank(copies: usize) -> DuplicateRank {
+    DuplicateRank::new(copies)
+}
+
+/// Rank erasure: up to `k` ranked agents demoted to factory-new agents.
+pub fn erase_rank(protocol: &StableRanking, k: usize) -> impl Fault<StableState> {
+    EraseRank::new(k, fresh_joiner(protocol))
+}
+
+/// Coin bias: every unranked agent's synthetic coin forced to `value`
+/// (ranked agents store no coin, so they are untouched).
+pub fn coin_bias(value: bool) -> impl Fault<StableState> {
+    MapStates::new("coin_bias", move |s: &mut StableState, _: &mut SmallRng| {
+        if let StableState::Un(un) = s {
+            un.coin = value;
+        }
+    })
+}
+
+/// Full-population randomization: a fresh adversarial initialization
+/// injected mid-run.
+pub fn randomize(protocol: &StableRanking) -> impl Fault<StableState> {
+    let p = protocol.clone();
+    StateRewrite::randomize(move |rng: &mut SmallRng| p.random_state(rng))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use population::{has_duplicate_rank, ranked_count, RankOutput};
+    use rand::SeedableRng;
+    use ranking::Params;
+
+    fn legal_states(n: usize) -> (StableRanking, Vec<StableState>) {
+        let p = StableRanking::new(Params::new(n));
+        let states = p.legal();
+        (p, states)
+    }
+
+    #[test]
+    fn corrupt_leaves_other_agents_untouched() {
+        let (p, mut states) = legal_states(32);
+        let mut rng = SmallRng::seed_from_u64(1);
+        corrupt(&p, 5).apply(&mut states, &mut rng);
+        assert!(ranked_count(&states) >= 32 - 5);
+    }
+
+    #[test]
+    fn churn_injects_electing_agents() {
+        let (p, mut states) = legal_states(32);
+        let mut rng = SmallRng::seed_from_u64(2);
+        churn(&p, 7).apply(&mut states, &mut rng);
+        let electing = states.iter().filter(|s| s.is_electing()).count();
+        assert_eq!(electing, 7);
+        assert_eq!(ranked_count(&states), 25);
+    }
+
+    #[test]
+    fn duplicate_rank_breaks_the_permutation() {
+        let (_, mut states) = legal_states(32);
+        let mut rng = SmallRng::seed_from_u64(3);
+        Fault::<StableState>::apply(&mut duplicate_rank(2), &mut states, &mut rng);
+        assert!(has_duplicate_rank(&states));
+        assert_eq!(ranked_count(&states), 32, "victims stay ranked");
+    }
+
+    #[test]
+    fn erase_rank_unranks_exactly_k() {
+        let (p, mut states) = legal_states(32);
+        let mut rng = SmallRng::seed_from_u64(4);
+        erase_rank(&p, 6).apply(&mut states, &mut rng);
+        assert_eq!(ranked_count(&states), 26);
+    }
+
+    #[test]
+    fn coin_bias_flattens_every_coin() {
+        let p = StableRanking::new(Params::new(32));
+        let mut states = p.initial();
+        let mut rng = SmallRng::seed_from_u64(5);
+        coin_bias(true).apply(&mut states, &mut rng);
+        assert!(states.iter().all(|s| s.coin() == Some(true)));
+    }
+
+    #[test]
+    fn randomize_rewrites_every_agent_validly() {
+        let (p, mut states) = legal_states(32);
+        let mut rng = SmallRng::seed_from_u64(6);
+        randomize(&p).apply(&mut states, &mut rng);
+        assert!(
+            states.iter().all(|s| s.is_valid_for(p.params())),
+            "randomized states must stay inside the state space"
+        );
+        // A uniform draw over the state space is (w.o.p.) not a
+        // permutation of ranks.
+        assert!(states.iter().any(|s| s.rank().is_none()));
+    }
+}

@@ -1,0 +1,239 @@
+//! Recovery-time measurement: timestamps of fault → re-stabilization
+//! intervals.
+//!
+//! The paper's Theorem 2 promises stabilization from *any*
+//! configuration, which implies recovery from any mid-run corruption.
+//! [`Recovery`] turns that claim into a measurement: it pairs every
+//! fault fired by a [`FaultPlan`](crate::fault::FaultPlan) with the
+//! first subsequent checkpoint at which the caller's legality predicate
+//! holds again, producing a list of [`RecoveryEvent`]s whose
+//! `recovered_at − injected_at` intervals are the recovery times the
+//! `recovery` bench binary aggregates.
+//!
+//! [`run_recovery`] is the driver: it interleaves
+//! [`Simulator::run_faulted`](population::Simulator::run_faulted)
+//! bursts (faults fire at exact interaction counts) with legality
+//! checkpoints every `check_every` interactions, so — as everywhere else
+//! in the engine — recorded recovery times overshoot the true
+//! re-stabilization time by less than the polling period.
+
+use population::{Control, Observer, PairSource, Protocol, Simulator};
+
+use crate::fault::FaultPlan;
+
+/// One fault → re-stabilization interval.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecoveryEvent {
+    /// The [`Fault::name`](crate::fault::Fault::name) of the injector.
+    pub name: &'static str,
+    /// Interaction count at which the fault was applied.
+    pub injected_at: u64,
+    /// First checkpoint at which the configuration was legal again
+    /// (`None` if the run's budget was exhausted first).
+    pub recovered_at: Option<u64>,
+}
+
+impl RecoveryEvent {
+    /// Interactions from injection to re-stabilization, if recovered.
+    pub fn recovery_interactions(&self) -> Option<u64> {
+        self.recovered_at.map(|r| r - self.injected_at)
+    }
+}
+
+/// An [`Observer`] that closes pending fault events when the
+/// configuration becomes legal again.
+///
+/// Faults are announced through [`note_fault`](Recovery::note_fault)
+/// (the [`run_recovery`] driver forwards them from the plan's fired
+/// log); at every checkpoint where the legality predicate holds, all
+/// pending events are stamped with the current interaction count. A
+/// fault that strikes an already-broken configuration simply opens a
+/// second pending event — both close at the next legal checkpoint.
+#[derive(Debug)]
+pub struct Recovery<F> {
+    legal: F,
+    events: Vec<RecoveryEvent>,
+}
+
+impl<F> Recovery<F> {
+    /// Observe with legality predicate `legal(protocol, states)` — for
+    /// the ranking protocols this is
+    /// `|_, s| population::is_valid_ranking(s)` (a valid ranking is
+    /// silent by the closure property, so validity is re-stabilization).
+    pub fn new(legal: F) -> Self {
+        Self {
+            legal,
+            events: Vec::new(),
+        }
+    }
+
+    /// Record that a fault named `name` fired after `at` interactions.
+    pub fn note_fault(&mut self, at: u64, name: &'static str) {
+        self.events.push(RecoveryEvent {
+            name,
+            injected_at: at,
+            recovered_at: None,
+        });
+    }
+
+    /// All events so far, in injection order.
+    pub fn events(&self) -> &[RecoveryEvent] {
+        &self.events
+    }
+
+    /// Consume the observer, returning the events.
+    pub fn into_events(self) -> Vec<RecoveryEvent> {
+        self.events
+    }
+
+    /// Has every injected fault been recovered from?
+    pub fn all_recovered(&self) -> bool {
+        self.events.iter().all(|e| e.recovered_at.is_some())
+    }
+}
+
+impl<P: Protocol, F: FnMut(&P, &[P::State]) -> bool> Observer<P> for Recovery<F> {
+    fn observe(&mut self, protocol: &P, t: u64, states: &[P::State]) -> Control {
+        if !self.all_recovered() && (self.legal)(protocol, states) {
+            for e in self.events.iter_mut().filter(|e| e.recovered_at.is_none()) {
+                e.recovered_at = Some(t);
+            }
+        }
+        Control::Continue
+    }
+}
+
+/// Drive `sim` for up to `max_interactions` under `plan`, recording
+/// every fault → re-stabilization interval into `recovery`.
+///
+/// Faults fire at their exact scheduled interaction counts (the engine
+/// splits its batched loop there); legality is polled every
+/// `check_every` interactions and once up front. Returns early once
+/// every injected fault has recovered and no further fault can fire
+/// within the budget — so single-shot plans don't burn the full budget
+/// after re-stabilizing.
+///
+/// # Panics
+///
+/// Panics if `check_every == 0`.
+pub fn run_recovery<P, S, F>(
+    sim: &mut Simulator<P, S>,
+    plan: &mut FaultPlan<P::State>,
+    recovery: &mut Recovery<F>,
+    max_interactions: u64,
+    check_every: u64,
+) where
+    P: Protocol,
+    S: PairSource,
+    F: FnMut(&P, &[P::State]) -> bool,
+{
+    assert!(check_every > 0, "check_every must be positive");
+    let deadline = sim.interactions() + max_interactions;
+    recovery.observe(sim.protocol(), sim.interactions(), sim.states());
+    while sim.interactions() < deadline {
+        let burst = check_every.min(deadline - sim.interactions());
+        let seen = plan.fired().len();
+        sim.run_faulted(burst, plan);
+        for f in plan.fired()[seen..].iter().copied() {
+            recovery.note_fault(f.at, f.name);
+        }
+        recovery.observe(sim.protocol(), sim.interactions(), sim.states());
+        let more_faults_due = plan.peek_next().is_some_and(|t| t <= deadline);
+        if recovery.all_recovered() && !more_faults_due {
+            break;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::StateRewrite;
+    use population::Protocol;
+    use rand::rngs::SmallRng;
+
+    /// "Infection" protocol: state counts down to 0; legal iff all zero.
+    /// Interactions pull both agents one step toward 0, so recovery from
+    /// a corruption that sets counters to `c` takes a predictable number
+    /// of interactions.
+    struct Decay(usize);
+    impl Protocol for Decay {
+        type State = u32;
+        fn n(&self) -> usize {
+            self.0
+        }
+        fn transition(&self, u: &mut u32, v: &mut u32) -> bool {
+            let before = (*u, *v);
+            *u = u.saturating_sub(1);
+            *v = v.saturating_sub(1);
+            before != (*u, *v)
+        }
+    }
+
+    fn corrupt_to(value: u32, k: usize) -> StateRewrite<impl FnMut(&mut SmallRng) -> u32> {
+        StateRewrite::corrupt(k, move |_: &mut SmallRng| value)
+    }
+
+    #[test]
+    fn single_fault_recovery_is_timestamped() {
+        let n = 16;
+        let mut sim = Simulator::new(Decay(n), vec![0; n], 3);
+        let mut plan = FaultPlan::new(1).once(1000, corrupt_to(50, 4));
+        let mut rec = Recovery::new(|_: &Decay, s: &[u32]| s.iter().all(|&x| x == 0));
+        run_recovery(&mut sim, &mut plan, &mut rec, 100_000, 100);
+
+        let events = rec.events();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].name, "corrupt");
+        assert_eq!(events[0].injected_at, 1000);
+        let t = events[0].recovery_interactions().expect("must recover");
+        assert!(t > 0, "recovery cannot be instantaneous");
+        assert!(t < 20_000, "decay from 50 is fast, got {t}");
+        // Early exit: the budget was not exhausted after recovery.
+        assert!(sim.interactions() < 100_000);
+    }
+
+    #[test]
+    fn periodic_faults_produce_one_event_each() {
+        let n = 16;
+        let mut sim = Simulator::new(Decay(n), vec![0; n], 3);
+        let mut plan = FaultPlan::new(1).periodic(5_000, 30_000, corrupt_to(20, 2));
+        let mut rec = Recovery::new(|_: &Decay, s: &[u32]| s.iter().all(|&x| x == 0));
+        run_recovery(&mut sim, &mut plan, &mut rec, 95_000, 50);
+
+        // Fires at 5k, 35k, 65k, 95k.
+        assert_eq!(rec.events().len(), 4);
+        for e in &rec.events()[..3] {
+            assert!(
+                e.recovery_interactions().is_some(),
+                "event at {} unrecovered",
+                e.injected_at
+            );
+        }
+    }
+
+    #[test]
+    fn unrecovered_events_stay_open_at_budget_exhaustion() {
+        let n = 16;
+        let mut sim = Simulator::new(Decay(n), vec![0; n], 3);
+        // Corruption far too large to decay within the budget.
+        let mut plan = FaultPlan::new(1).once(100, corrupt_to(u32::MAX, n));
+        let mut rec = Recovery::new(|_: &Decay, s: &[u32]| s.iter().all(|&x| x == 0));
+        run_recovery(&mut sim, &mut plan, &mut rec, 10_000, 100);
+
+        assert_eq!(rec.events().len(), 1);
+        assert!(rec.events()[0].recovered_at.is_none());
+        assert!(!rec.all_recovered());
+        assert_eq!(sim.interactions(), 10_000, "budget fully used");
+    }
+
+    #[test]
+    fn fault_that_preserves_legality_recovers_immediately() {
+        let n = 8;
+        let mut sim = Simulator::new(Decay(n), vec![0; n], 3);
+        let mut plan = FaultPlan::new(1).once(500, corrupt_to(0, 3));
+        let mut rec = Recovery::new(|_: &Decay, s: &[u32]| s.iter().all(|&x| x == 0));
+        run_recovery(&mut sim, &mut plan, &mut rec, 50_000, 100);
+        assert_eq!(rec.events()[0].recovery_interactions(), Some(0));
+    }
+}

@@ -1,0 +1,20 @@
+//! Crate-private sampling helpers shared by schedulers and injectors.
+
+use rand::rngs::SmallRng;
+use rand::RngExt;
+
+/// Uniform index in `0..n` distinct from `excluded`: draw from the
+/// `n − 1` remaining slots and skip over the excluded one.
+///
+/// # Panics
+///
+/// Panics if `n < 2` (no distinct index exists).
+#[inline]
+pub(crate) fn distinct_from(rng: &mut SmallRng, n: usize, excluded: usize) -> usize {
+    let r = rng.random_range(0..n as u32 - 1) as usize;
+    if r >= excluded {
+        r + 1
+    } else {
+        r
+    }
+}

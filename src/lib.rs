@@ -13,6 +13,9 @@
 //! * [`ranking`] — the paper's protocols: `SpaceEfficientRanking`
 //!   (Theorem 1) and `StableRanking` (Theorem 2).
 //! * [`baselines`] — comparison protocols from the related-work section.
+//! * [`scenarios`] — fault injection, adversarial schedulers, and
+//!   recovery-time measurement (sustained-fault workloads on top of the
+//!   engine).
 //! * [`analysis`] — statistics and tail-bound helpers used by experiments.
 //!
 //! # Quickstart
@@ -35,3 +38,4 @@ pub use baselines;
 pub use leader_election;
 pub use population;
 pub use ranking;
+pub use scenarios;
