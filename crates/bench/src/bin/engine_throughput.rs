@@ -1,24 +1,39 @@
-//! Engine throughput: scalar stepping vs the batched hot path.
+//! Engine throughput: scalar stepping vs the batched hot path vs the
+//! packed-word state representation.
 //!
 //! Measures interactions/second of [`Simulator::step`] in a loop (the
 //! reference execution path) against [`Simulator::run_batched`] (the
-//! block-sampling hot path), over `n ∈ {10³, 10⁴, 10⁵}`, for an
-//! engine-bound protocol (the one-way epidemic, whose transition is a
-//! two-byte compare) and the paper's `StableRanking` (whose transition
-//! dominates, bounding the achievable engine speedup). Both paths
-//! execute the identical trajectory, so this is a pure engine
-//! comparison.
+//! block-sampling hot path), over `n ∈ {10³, 10⁴, 10⁵}` by default, for:
+//!
+//! * the one-way epidemic (engine-bound: a two-byte compare per
+//!   transition — the engine's speed-of-light);
+//! * the paper's `StableRanking` over its structured enum states
+//!   (transition-bound: the protocol dominates);
+//! * `StableRanking` over the packed single-word representation
+//!   (`Packed<StableRanking>`): same trajectory bit-for-bit, flat
+//!   `u64` storage, table-driven transitions.
+//!
+//! All paths execute the identical trajectory, so every comparison is
+//! pure representation/engine overhead.
 //!
 //! Writes `BENCH_engine.json` (override with `out=`) so later
-//! performance work has a recorded trajectory to beat.
+//! performance work has a recorded trajectory to beat. Pass
+//! `baseline=BENCH_engine.json` to print per-protocol speedup against a
+//! previously recorded artifact — perf regressions visible in one
+//! command. Pass `--smoke` to assert (exit 1 on failure) that the
+//! packed path is at least `floor=` (default 0.9) times the enum path —
+//! the CI throughput smoke.
 //!
 //! Usage: `cargo run --release -p bench --bin engine_throughput --
-//! [interactions=20000000] [samples=5] [out=BENCH_engine.json] [--csv]`
+//! [interactions=20000000] [samples=5] [sizes=1000,10000,100000]
+//! [out=BENCH_engine.json] [baseline=PATH] [floor=0.9] [--smoke] [--csv]`
+
+use std::process::ExitCode;
 
 use bench::timing::time_runs;
 use bench::{f3, Experiment, Json, Table};
 use population::primitives::epidemic::Epidemic;
-use population::{Protocol, Simulator};
+use population::{Packed, Protocol, Simulator};
 use ranking::stable::StableRanking;
 use ranking::Params;
 
@@ -70,11 +85,57 @@ where
     }
 }
 
-fn main() {
+/// Minimal reader for previously written `BENCH_engine.json` artifacts:
+/// extracts `(protocol, n, batched_interactions_per_sec)` triples from
+/// the pretty-printed (one key per line) layout. Not a JSON parser —
+/// just enough to compare against our own output format.
+fn read_baseline(path: &str) -> Vec<(String, usize, f64)> {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("cannot read baseline {path}: {e}"));
+    let field = |line: &str, key: &str| -> Option<String> {
+        let rest = line.trim().strip_prefix(&format!("\"{key}\":"))?;
+        Some(
+            rest.trim()
+                .trim_end_matches(',')
+                .trim_matches('"')
+                .to_string(),
+        )
+    };
+    let mut out = Vec::new();
+    let (mut protocol, mut n) = (None::<String>, None::<usize>);
+    for line in text.lines() {
+        if let Some(p) = field(line, "protocol") {
+            protocol = Some(p);
+        } else if let Some(v) = field(line, "n") {
+            n = v.parse().ok();
+        } else if let Some(v) = field(line, "batched_interactions_per_sec") {
+            if let (Some(p), Some(nn), Ok(ips)) = (protocol.take(), n.take(), v.parse()) {
+                out.push((p, nn, ips));
+            }
+        }
+    }
+    assert!(
+        !out.is_empty(),
+        "baseline {path} contains no measurements (expected the BENCH_engine.json layout)"
+    );
+    out
+}
+
+fn main() -> ExitCode {
     let exp = Experiment::from_env("engine_throughput");
     let interactions: u64 = exp.get("interactions", 20_000_000);
     let samples: usize = exp.get("samples", 5);
-    let sizes = [1_000usize, 10_000, 100_000];
+    let sizes: Vec<usize> = exp
+        .args()
+        .get_str("sizes")
+        .unwrap_or("1000,10000,100000")
+        .split(',')
+        .map(|s| {
+            s.trim()
+                .parse()
+                .expect("sizes= must be comma-separated integers")
+        })
+        .collect();
 
     let mut results = Vec::new();
     for &n in &sizes {
@@ -83,9 +144,9 @@ fn main() {
             let init = p.initial(n);
             (p, init)
         }));
-        // StableRanking transitions are ~10× heavier than the engine
-        // overhead, so its speedup bounds what protocol-heavy workloads
-        // see; fewer interactions keep the run short.
+        // StableRanking transitions dominate the engine overhead, so
+        // its speedup bounds what protocol-heavy workloads see; fewer
+        // interactions keep the run short.
         results.push(measure(
             "stable_ranking",
             n,
@@ -94,6 +155,18 @@ fn main() {
             || {
                 let p = StableRanking::new(Params::new(n));
                 let init = p.initial();
+                (p, init)
+            },
+        ));
+        // The same protocol and trajectory over packed words.
+        results.push(measure(
+            "stable_ranking_packed",
+            n,
+            interactions / 4,
+            samples,
+            || {
+                let p = Packed(StableRanking::new(Params::new(n)));
+                let init = p.pack_all(&p.inner().initial());
                 (p, init)
             },
         ));
@@ -113,6 +186,36 @@ fn main() {
         ]);
     }
     exp.emit(&table);
+
+    if let Some(baseline_path) = exp.args().get_str("baseline") {
+        let baseline = read_baseline(baseline_path);
+        let mut cmp = Table::new(
+            format!("Batched throughput vs baseline {baseline_path}"),
+            &[
+                "protocol",
+                "n",
+                "baseline M/s",
+                "now M/s",
+                "speedup vs baseline",
+            ],
+        );
+        for m in &results {
+            let Some((_, _, base)) = baseline
+                .iter()
+                .find(|(p, n, _)| p == m.protocol && *n == m.n)
+            else {
+                continue;
+            };
+            cmp.push(vec![
+                m.protocol.to_string(),
+                m.n.to_string(),
+                f3(base / 1e6),
+                f3(m.batched_ips / 1e6),
+                f3(m.batched_ips / base),
+            ]);
+        }
+        exp.emit(&cmp);
+    }
 
     let payload = Json::obj([
         ("samples", samples.into()),
@@ -137,12 +240,47 @@ fn main() {
     ]);
     exp.write_json("BENCH_engine.json", payload);
 
-    let engine_bound = results
+    if let Some(engine_bound) = results
         .iter()
         .find(|m| m.protocol == "epidemic" && m.n == 100_000)
-        .expect("n=1e5 epidemic measured");
-    exp.note(&format!(
-        "engine-bound speedup at n = 1e5: {:.2}x (target: >= 1.5x)",
-        engine_bound.speedup()
-    ));
+    {
+        exp.note(&format!(
+            "engine-bound speedup at n = 1e5: {:.2}x (target: >= 1.5x)",
+            engine_bound.speedup()
+        ));
+    }
+
+    // CI throughput smoke: the packed representation must not be slower
+    // than the enum path. The floor is deliberately generous (0.9x) so
+    // shared-runner noise cannot flake the build; real regressions are
+    // far below it.
+    if exp.flag("smoke") {
+        let floor: f64 = exp.get("floor", 0.9);
+        let mut ok = true;
+        for &n in &sizes {
+            let by = |name: &str| {
+                results
+                    .iter()
+                    .find(|m| m.protocol == name && m.n == n)
+                    .expect("measured above")
+            };
+            let enum_ips = by("stable_ranking").batched_ips;
+            let packed_ips = by("stable_ranking_packed").batched_ips;
+            let ratio = packed_ips / enum_ips;
+            exp.note(&format!(
+                "smoke n={n}: packed/enum batched ratio {ratio:.2} (floor {floor})"
+            ));
+            if ratio < floor {
+                eprintln!(
+                    "SMOKE FAILURE: packed path is {ratio:.2}x the enum path at n={n} \
+                     (floor {floor}) — the packed representation regressed"
+                );
+                ok = false;
+            }
+        }
+        if !ok {
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
 }

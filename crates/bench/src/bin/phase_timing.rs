@@ -72,8 +72,8 @@ fn main() {
             continue;
         }
         let s = Summary::of(&durations);
-        let bound =
-            wait_phase_upper(n as f64, k, params.c_wait, 1.0) + rank_phase_upper(n as f64, k, 1.0);
+        let bound = wait_phase_upper(n as f64, k, params.c_wait(), 1.0)
+            + rank_phase_upper(n as f64, k, 1.0);
         table.push(vec![
             k.to_string(),
             fseq.phase_ranks(k).start().to_string() + "-" + &fseq.phase_ranks(k).end().to_string(),

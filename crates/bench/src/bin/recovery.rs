@@ -33,15 +33,8 @@ use ranking::stable::{StableRanking, StableState};
 use ranking::Params;
 use scenarios::{ranking_faults, FaultPlan, Recovery, RecoveryEvent};
 
-/// The injector kinds measured, in table order.
-const KINDS: [&str; 6] = [
-    "corrupt",
-    "churn",
-    "duplicate_rank",
-    "erase_rank",
-    "coin_bias",
-    "randomize",
-];
+/// The injector kinds measured, in table order (the canonical list).
+const KINDS: [&str; 6] = ranking_faults::KINDS;
 
 /// The initial configuration for a scenario (see module docs).
 fn init_for(kind: &str, protocol: &StableRanking) -> Vec<StableState> {

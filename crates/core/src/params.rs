@@ -8,17 +8,46 @@
 use crate::fseq::FSeq;
 
 /// All tunables for the ranking protocols, derived from `n`.
+///
+/// Every derived quantity (`wait_max`, `l_max`, `r_max`, `d_max`,
+/// `coin_target`, `log2n`) is computed **once** — at construction and
+/// whenever a builder overrides a constant — and served from a cache.
+/// The accessors sit on the simulator's per-interaction hot path, and
+/// recomputing `f64` log/ceil there cost more than the protocol's own
+/// transition logic did.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Params {
     n: usize,
-    /// `c_wait`: waiting-counter constant (paper simulation: 2).
-    pub c_wait: f64,
-    /// `c_live`: liveness/lottery budget constant (paper simulation: 4).
-    pub c_live: f64,
-    /// Reset-counter constant: `R_max = ⌈c_reset · log₂ n⌉`.
-    pub c_reset: f64,
-    /// Dormancy constant: `D_max = ⌈c_delay · log₂ n⌉`.
-    pub c_delay: f64,
+    c_wait: f64,
+    c_live: f64,
+    c_reset: f64,
+    c_delay: f64,
+    derived: Derived,
+}
+
+/// The cached derived quantities (see the struct-level docs).
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Derived {
+    log2n: f64,
+    wait_max: u32,
+    l_max: u32,
+    r_max: u32,
+    d_max: u32,
+    coin_target: u32,
+}
+
+impl Derived {
+    fn compute(n: usize, c_wait: f64, c_live: f64, c_reset: f64, c_delay: f64) -> Self {
+        let log2n = (n as f64).log2();
+        Self {
+            log2n,
+            wait_max: ((c_wait * log2n).ceil() as u32).max(1),
+            l_max: ((c_live * log2n).ceil() as u32).max(2),
+            r_max: ((c_reset * log2n).ceil() as u32).max(1),
+            d_max: ((c_delay * log2n).ceil() as u32).max(1),
+            coin_target: (log2n.ceil() as u32).max(1),
+        }
+    }
 }
 
 impl Params {
@@ -29,13 +58,20 @@ impl Params {
     /// Panics if `n < 2`.
     pub fn new(n: usize) -> Self {
         assert!(n >= 2, "population must have at least two agents");
+        let (c_wait, c_live, c_reset, c_delay) = (2.0, 4.0, 2.0, 4.0);
         Self {
             n,
-            c_wait: 2.0,
-            c_live: 4.0,
-            c_reset: 2.0,
-            c_delay: 4.0,
+            c_wait,
+            c_live,
+            c_reset,
+            c_delay,
+            derived: Derived::compute(n, c_wait, c_live, c_reset, c_delay),
         }
+    }
+
+    fn recompute(&mut self) {
+        self.derived =
+            Derived::compute(self.n, self.c_wait, self.c_live, self.c_reset, self.c_delay);
     }
 
     /// Builder-style override of `c_wait`.
@@ -45,6 +81,7 @@ impl Params {
             "c_wait must be positive"
         );
         self.c_wait = c_wait;
+        self.recompute();
         self
     }
 
@@ -55,6 +92,7 @@ impl Params {
             "c_live must be positive"
         );
         self.c_live = c_live;
+        self.recompute();
         self
     }
 
@@ -65,6 +103,7 @@ impl Params {
             "c_reset must be positive"
         );
         self.c_reset = c_reset;
+        self.recompute();
         self
     }
 
@@ -75,6 +114,7 @@ impl Params {
             "c_delay must be positive"
         );
         self.c_delay = c_delay;
+        self.recompute();
         self
     }
 
@@ -83,36 +123,56 @@ impl Params {
         self.n
     }
 
+    /// `c_wait`: waiting-counter constant (paper simulation: 2).
+    pub fn c_wait(&self) -> f64 {
+        self.c_wait
+    }
+
+    /// `c_live`: liveness/lottery budget constant (paper simulation: 4).
+    pub fn c_live(&self) -> f64 {
+        self.c_live
+    }
+
+    /// Reset-counter constant: `R_max = ⌈c_reset · log₂ n⌉`.
+    pub fn c_reset(&self) -> f64 {
+        self.c_reset
+    }
+
+    /// Dormancy constant: `D_max = ⌈c_delay · log₂ n⌉`.
+    pub fn c_delay(&self) -> f64 {
+        self.c_delay
+    }
+
     /// `log₂ n` (not rounded).
     pub fn log2n(&self) -> f64 {
-        (self.n as f64).log2()
+        self.derived.log2n
     }
 
     /// `⌈c_wait · log₂ n⌉`: initial value of `waitCount`.
     pub fn wait_max(&self) -> u32 {
-        ((self.c_wait * self.log2n()).ceil() as u32).max(1)
+        self.derived.wait_max
     }
 
     /// `L_max = ⌈c_live · log₂ n⌉`: liveness counter ceiling and
     /// `FastLeaderElection` budget.
     pub fn l_max(&self) -> u32 {
-        ((self.c_live * self.log2n()).ceil() as u32).max(2)
+        self.derived.l_max
     }
 
     /// `R_max = ⌈c_reset · log₂ n⌉`: reset-propagation counter ceiling.
     pub fn r_max(&self) -> u32 {
-        ((self.c_reset * self.log2n()).ceil() as u32).max(1)
+        self.derived.r_max
     }
 
     /// `D_max = ⌈c_delay · log₂ n⌉`: dormancy counter ceiling.
     pub fn d_max(&self) -> u32 {
-        ((self.c_delay * self.log2n()).ceil() as u32).max(1)
+        self.derived.d_max
     }
 
     /// `⌈log₂ n⌉`: heads needed by the `FastLeaderElection` lottery and
     /// the number of ranking phases.
     pub fn coin_target(&self) -> u32 {
-        (self.log2n().ceil() as u32).max(1)
+        self.derived.coin_target
     }
 
     /// The phase geometry for this population size.
@@ -142,6 +202,26 @@ mod tests {
         let p = Params::new(256).with_c_wait(0.5).with_c_live(1.0);
         assert_eq!(p.wait_max(), 4);
         assert_eq!(p.l_max(), 8);
+    }
+
+    #[test]
+    fn cached_quantities_track_every_builder() {
+        // The cache must be recomputed by every with_* override, not
+        // only at `new` — stale caches would silently change protocol
+        // semantics for ablation sweeps.
+        let p = Params::new(1000)
+            .with_c_wait(3.0)
+            .with_c_live(5.0)
+            .with_c_reset(1.5)
+            .with_c_delay(2.5);
+        let log2n = (1000f64).log2();
+        assert_eq!(p.wait_max(), (3.0 * log2n).ceil() as u32);
+        assert_eq!(p.l_max(), (5.0 * log2n).ceil() as u32);
+        assert_eq!(p.r_max(), (1.5 * log2n).ceil() as u32);
+        assert_eq!(p.d_max(), (2.5 * log2n).ceil() as u32);
+        assert_eq!(p.coin_target(), 10);
+        assert_eq!(p.c_wait(), 3.0);
+        assert_eq!(p.c_live(), 5.0);
     }
 
     #[test]

@@ -16,22 +16,27 @@
 //! 5. finally, the responder's synthetic coin is toggled (lines 9–10).
 
 pub mod display;
+pub mod packed;
 pub mod ranking_plus;
 pub mod reset;
 pub mod state;
+pub mod tables;
 
 use std::cell::Cell;
 
 use leader_election::fast::{FastLe, FastLeEffect};
-use population::Protocol;
+use population::{PackedProtocol, Protocol};
 use rand::rngs::SmallRng;
 use rand::{RngExt, SeedableRng};
 
 use crate::fseq::FSeq;
 use crate::params::Params;
-use crate::stable::ranking_plus::{ranking_plus_step, RpCtx};
+use crate::stable::packed::{A_SHIFT, COIN_BIT, TAG_ELECT, TAG_MASK, TAG_RESET};
+use crate::stable::ranking_plus::{ranking_plus_step, ranking_plus_step_packed, RpCtx};
 use crate::stable::state::{MainKind, UnRole, UnState};
+use crate::stable::tables::StepTables;
 
+pub use crate::stable::packed::PackedState;
 pub use crate::stable::state::StableState;
 
 /// The self-stabilizing ranking protocol of Theorem 2.
@@ -40,6 +45,7 @@ pub struct StableRanking {
     params: Params,
     fseq: FSeq,
     fast: FastLe,
+    tables: StepTables,
     reset_events: Cell<u64>,
 }
 
@@ -49,6 +55,7 @@ impl Clone for StableRanking {
             params: self.params.clone(),
             fseq: self.fseq.clone(),
             fast: self.fast,
+            tables: self.tables.clone(),
             reset_events: Cell::new(self.reset_events.get()),
         }
     }
@@ -67,19 +74,21 @@ impl StableRanking {
     /// default `c_live = 4` always satisfies this.
     pub fn new(params: Params) -> Self {
         let fseq = params.fseq();
-        let fast = FastLe::for_n(params.n(), params.c_live);
+        let fast = FastLe::for_n(params.n(), params.c_live());
         assert!(
             fast.l_max >= 2 * (fast.coin_target + 1),
             "c_live = {} gives L_max = {} < 2(⌈log n⌉+1) = {}: the lottery can \
              never elect a leader (see Protocol 5 line 9)",
-            params.c_live,
+            params.c_live(),
             fast.l_max,
             2 * (fast.coin_target + 1)
         );
+        let tables = StepTables::new(&params, &fseq, &fast);
         Self {
             params,
             fseq,
             fast,
+            tables,
             reset_events: Cell::new(0),
         }
     }
@@ -97,6 +106,11 @@ impl StableRanking {
     /// The embedded `FASTLEADERELECTION` parameters.
     pub fn fast_le(&self) -> &FastLe {
         &self.fast
+    }
+
+    /// The precomputed transition tables driving the packed hot path.
+    pub fn tables(&self) -> &StepTables {
+        &self.tables
     }
 
     /// Number of resets triggered so far across all interactions executed
@@ -270,6 +284,7 @@ impl Protocol for StableRanking {
         self.params.n()
     }
 
+    #[inline]
     fn transition(&self, u: &mut StableState, v: &mut StableState) -> bool {
         let before = (*u, *v);
 
@@ -329,6 +344,80 @@ impl Protocol for StableRanking {
         // Lines 9–10: the responder's coin toggles if it has one.
         if let StableState::Un(un) = v {
             un.coin = !un.coin;
+        }
+
+        (*u, *v) != before
+    }
+}
+
+impl PackedProtocol for StableRanking {
+    type Packed = PackedState;
+
+    fn pack(&self, state: &StableState) -> PackedState {
+        PackedState::pack(state)
+    }
+
+    fn unpack(&self, word: PackedState) -> StableState {
+        word.unpack()
+    }
+
+    /// The Protocol 3 dispatcher over packed words — same branch
+    /// structure as [`transition`](Protocol::transition), but every
+    /// threshold comes from the precomputed [`StepTables`], role tests
+    /// are tag compares, and the "forget everything" rebirths (lottery
+    /// winner, phase-1 joiner, triggered agent, fresh elector) are
+    /// single precomposed words OR-ed with the surviving coin bit.
+    /// Bit-for-bit trajectory-equivalent to the structured path
+    /// (property-tested in `tests/packed_equivalence.rs`).
+    #[inline]
+    fn transition_packed(&self, u: &mut PackedState, v: &mut PackedState) -> bool {
+        let before = (*u, *v);
+        let t = &self.tables;
+
+        // The one-hot tags make the dispatch tests single fused bit
+        // operations over the two words.
+        if (u.0 | v.0) & TAG_RESET != 0 {
+            // Protocol 3 line 1: propagate resets / wake dormant agents.
+            reset::propagate_step_packed(t, u, v);
+        } else if u.0 & v.0 & TAG_ELECT != 0 {
+            // Lines 2–3: both electing — run FASTLEADERELECTION for the
+            // initiator, observing the responder's coin.
+            let (bits, effect) = self.fast.step_bits(u.le_bits(), v.coin());
+            match effect {
+                FastLeEffect::None => {
+                    u.0 = (u.0 & (TAG_MASK | COIN_BIT)) | (bits << A_SHIFT);
+                }
+                FastLeEffect::BecomeWaitingLeader => {
+                    // Protocol 5 lines 10–11: forget the LE state and
+                    // start the main phase; the coin is maintained.
+                    u.0 = t.leader_wait.bits() | (u.0 & COIN_BIT);
+                }
+                FastLeEffect::TimedOut => {
+                    // Protocol 5 lines 13–15: trigger a reset.
+                    reset::trigger_reset_packed(t, u);
+                    self.count_reset();
+                }
+            }
+        } else if (u.0 | v.0) & TAG_ELECT != 0 {
+            // Lines 4–6: an electing agent meets a main-state agent and
+            // joins as a phase-1 agent, keeping only its coin.
+            if u.0 & TAG_ELECT != 0 {
+                u.0 = t.join_phase1.bits() | (u.0 & COIN_BIT);
+            } else {
+                v.0 = t.join_phase1.bits() | (v.0 & COIN_BIT);
+            }
+        } else {
+            // Lines 7–8: both in main states — run Ranking⁺.
+            let outcome = ranking_plus_step_packed(t, u, v);
+            if outcome.reset_triggered {
+                self.count_reset();
+            }
+        }
+
+        // Lines 9–10: the responder's coin toggles if it has one
+        // (unranked ⇔ some tag bit set).
+        if v.0 & TAG_MASK != 0 {
+            v.toggle_coin();
         }
 
         (*u, *v) != before

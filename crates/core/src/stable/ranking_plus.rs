@@ -18,8 +18,10 @@ use population::RankOutput;
 
 use crate::base::{ranking_step, RankRole};
 use crate::fseq::FSeq;
-use crate::stable::reset::trigger_reset;
+use crate::stable::packed::{PackedState, TAG_MASK, TAG_PHASE, TAG_RANKED, TAG_WAITING};
+use crate::stable::reset::{trigger_reset, trigger_reset_packed};
 use crate::stable::state::{MainKind, StableState, UnRole, UnState};
+use crate::stable::tables::StepTables;
 
 /// Immutable context for a `Ranking⁺` step.
 #[derive(Debug, Clone, Copy)]
@@ -184,6 +186,138 @@ pub fn ranking_plus_step(ctx: &RpCtx<'_>, u: &mut StableState, v: &mut StableSta
         None => {}
     }
     out
+}
+
+// ----------------------------------------------------------------------
+// Packed path — `Ranking⁺` over the single-word representation, with
+// every threshold served by the precomputed `StepTables`. Mirrors
+// `ranking_plus_step` line by line; equivalence is pinned by the
+// packed-vs-enum trajectory property tests.
+// ----------------------------------------------------------------------
+
+/// Packed [`ranking_plus_step`]: one `Ranking⁺` interaction between
+/// main-state words.
+#[inline]
+pub fn ranking_plus_step_packed(
+    t: &StepTables,
+    u: &mut PackedState,
+    v: &mut PackedState,
+) -> RpOutcome {
+    let mut out = RpOutcome::default();
+
+    // Lines 1–4: duplicate rank (ranked words are bare shifted ranks,
+    // so rank equality is word equality; both-ranked is "no tag bit
+    // set on either word") or two waiting agents.
+    let duplicate_rank = (u.0 | v.0) & TAG_MASK == 0 && u.bits() == v.bits();
+    if duplicate_rank || u.0 & v.0 & TAG_WAITING != 0 {
+        trigger_reset_packed(t, u);
+        out.reset_triggered = true;
+        return out;
+    }
+
+    // Lines 5–6: both liveness-checking (unranked) agents adopt max − 1.
+    let u_main_un = u.is_unranked_main();
+    let v_main_un = v.is_unranked_main();
+    if u_main_un && v_main_un {
+        let m = u.lane_a().max(v.lane_a()).saturating_sub(1);
+        u.set_lane_a(m);
+        v.set_lane_a(m);
+    }
+
+    // Lines 7–8: meeting an agent ranked n−1 or n decrements the
+    // responder's counter (one wrapping compare covers both ranks).
+    if u.0 & TAG_MASK == 0 && v_main_un && u.rank_value().wrapping_sub(t.n - 1) <= 1 {
+        v.set_lane_a(v.lane_a().saturating_sub(1));
+    }
+
+    // Lines 9–11: liveness expired — reset.
+    if v_main_un && v.lane_a() == 0 {
+        trigger_reset_packed(t, u);
+        out.reset_triggered = true;
+        return out;
+    }
+
+    if v.0 & TAG_MASK == 0 {
+        // v is ranked: neither branch of lines 12–18 applies.
+        return out;
+    }
+    if !v.coin() {
+        // Lines 12–14: coin 0 — a productive pair refreshes the
+        // responder's liveness counter instead of making progress.
+        let productive = u.0 & TAG_WAITING != 0
+            || (u.0 & TAG_MASK == 0
+                && v.0 & TAG_PHASE != 0
+                && u.rank_value() <= t.productive_threshold(v.lane_b()));
+        if productive {
+            v.set_lane_a(t.l_max);
+        }
+    } else {
+        // Lines 15–18: coin 1 — execute the base protocol.
+        base_step_packed(t, u, v);
+    }
+    out
+}
+
+/// Packed [`ranking_step`](crate::base::ranking_step) fused with the
+/// `write_back` representation changes of Protocol 4 lines 17–18:
+/// unranked → ranked drops coin and liveness (a bare shifted-rank
+/// word), ranked → waiting rebirths as the precomposed
+/// `(coin, aliveCount) = (0, L_max)` waiting word.
+#[inline]
+fn base_step_packed(t: &StepTables, u: &mut PackedState, v: &mut PackedState) {
+    // Protocol 2 line 1: only phase-agent responders trigger action.
+    if v.0 & TAG_PHASE == 0 {
+        return;
+    }
+    let k = v.lane_b();
+    match u.tag() {
+        TAG_RANKED => {
+            // Lines 2–11: a ranked initiator may assign a rank or
+            // certify the end of phase k.
+            let r = u.rank_value();
+            let window = t.window(k);
+            if r >= 1 && r <= window {
+                // Lines 4–5: assign rank f_{k+1} + r to v.
+                *v = PackedState::ranked(t.f(k + 1) + r);
+                if r < window {
+                    // Lines 6–7: take the next rank.
+                    *u = PackedState::ranked(r + 1);
+                } else if k < t.kmax {
+                    // Lines 8–9: end of a non-final phase — wait.
+                    *u = t.leader_wait;
+                }
+            }
+            // Lines 10–11: the holder of the last rank of phase k tells
+            // v that phase k is over (mutually exclusive with the
+            // assignment above; v may just have been ranked).
+            if u.0 & TAG_MASK == 0 && u.rank_value() == t.f(k) && v.0 & TAG_PHASE != 0 {
+                let kv = v.lane_b();
+                if kv < t.kmax {
+                    v.set_lane_b(kv + 1);
+                }
+            }
+        }
+        TAG_PHASE => {
+            // Lines 12–14: two phase agents spread the max phase.
+            let ku = u.lane_b();
+            let m = ku.max(k);
+            if ku != m || k != m {
+                u.set_lane_b(m);
+                v.set_lane_b(m);
+            }
+        }
+        TAG_WAITING => {
+            // Lines 15–19: count down; on zero, reborn as the rank-1
+            // unaware leader.
+            let w = u.lane_b() - 1;
+            if w == 0 {
+                *u = PackedState::ranked(1);
+            } else {
+                u.set_lane_b(w);
+            }
+        }
+        _ => unreachable!("Ranking⁺ requires main states"),
+    }
 }
 
 #[cfg(test)]

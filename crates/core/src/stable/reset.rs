@@ -23,7 +23,9 @@
 
 use leader_election::fast::FastLe;
 
+use crate::stable::packed::{PackedState, COIN_BIT, TAG_RESET};
 use crate::stable::state::{StableState, UnRole, UnState};
+use crate::stable::tables::StepTables;
 
 /// Classification of an agent for the reset rules.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -161,6 +163,105 @@ fn tick_dormant(fast: &FastLe, s: &mut StableState) {
         }
     } else {
         unreachable!("not a dormant agent");
+    }
+}
+
+// ----------------------------------------------------------------------
+// Packed path — the same rules over the single-word representation.
+// Each function mirrors its structured counterpart line by line; the
+// equivalence is pinned by the packed-vs-enum trajectory property tests.
+// ----------------------------------------------------------------------
+
+/// Packed [`trigger_reset`]: overwrite `x` with the precomposed
+/// triggered word, preserving the coin bit. Ranked words have a zero
+/// coin bit, so the "coin initialized to 0" case falls out for free.
+#[inline]
+pub fn trigger_reset_packed(t: &StepTables, x: &mut PackedState) {
+    x.0 = t.triggered.bits() | (x.0 & COIN_BIT);
+}
+
+/// Packed [`applicable`].
+#[inline]
+pub fn applicable_packed(u: PackedState, v: PackedState) -> bool {
+    (u.0 | v.0) & TAG_RESET != 0
+}
+
+/// Is this word a *propagating* resetter (`resetCount > 0`)? Dormant
+/// resetters have `resetCount = 0`.
+#[inline]
+fn propagating(w: PackedState) -> bool {
+    w.lane_a() > 0
+}
+
+/// Packed [`propagate_step`]. Must only be called when
+/// [`applicable_packed`] holds.
+#[inline]
+pub fn propagate_step_packed(t: &StepTables, u: &mut PackedState, v: &mut PackedState) {
+    debug_assert!(
+        applicable_packed(*u, *v),
+        "reset step requires a resetting agent"
+    );
+    let u_reset = u.0 & TAG_RESET != 0;
+    let v_reset = v.0 & TAG_RESET != 0;
+    match (u_reset, v_reset) {
+        (true, true) => match (propagating(*u), propagating(*v)) {
+            (true, true) => {
+                let m = u.lane_a().max(v.lane_a()).saturating_sub(1);
+                u.set_lane_a(m);
+                v.set_lane_a(m);
+            }
+            (true, false) => {
+                u.set_lane_a(u.lane_a() - 1);
+                tick_dormant_packed(t, v);
+            }
+            (false, true) => {
+                tick_dormant_packed(t, u);
+                v.set_lane_a(v.lane_a() - 1);
+            }
+            (false, false) => {
+                tick_dormant_packed(t, u);
+                tick_dormant_packed(t, v);
+            }
+        },
+        (true, false) => {
+            if propagating(*u) {
+                infect_packed(t, u, v);
+            } else {
+                tick_dormant_packed(t, u);
+            }
+        }
+        (false, true) => {
+            if propagating(*v) {
+                infect_packed(t, v, u);
+            } else {
+                tick_dormant_packed(t, v);
+            }
+        }
+        (false, false) => unreachable!("propagate_step called without a resetting agent"),
+    }
+}
+
+/// Packed `infect`: decrement the propagator's TTL and overwrite the
+/// target with a reset word carrying `(resetCount, delayCount) =
+/// (TTL − 1, D_max)` and the target's own coin.
+#[inline]
+fn infect_packed(t: &StepTables, propagator: &mut PackedState, target: &mut PackedState) {
+    let rc = propagator.lane_a() - 1;
+    propagator.set_lane_a(rc);
+    *target =
+        PackedState(PackedState::reset(false, rc, t.d_max).bits() | (target.bits() & COIN_BIT));
+}
+
+/// Packed `tick_dormant`: decrement `delayCount`, waking into the
+/// precomposed initial leader-election word (coin kept) on reaching
+/// zero. A corrupted `(0, 0)` word self-heals the same way.
+#[inline]
+fn tick_dormant_packed(t: &StepTables, s: &mut PackedState) {
+    let next = s.lane_b().saturating_sub(1);
+    if next == 0 {
+        s.0 = t.elect_init.bits() | (s.0 & COIN_BIT);
+    } else {
+        s.set_lane_b(next);
     }
 }
 

@@ -253,7 +253,7 @@ mod tests {
     #[test]
     fn role_predicates() {
         let p = params();
-        let fast = FastLe::for_n(p.n(), p.c_live);
+        let fast = FastLe::for_n(p.n(), p.c_live());
         let ranked = StableState::Ranked(3);
         assert!(ranked.is_main() && !ranked.is_waiting());
         assert_eq!(ranked.rank(), Some(3));
@@ -298,7 +298,7 @@ mod tests {
     #[test]
     fn encode_is_injective_over_representative_states() {
         let p = params();
-        let fast = FastLe::for_n(p.n(), p.c_live);
+        let fast = FastLe::for_n(p.n(), p.c_live());
         let mut states = Vec::new();
         for r in 1..=p.n() as u64 {
             states.push(StableState::Ranked(r));

@@ -1,0 +1,200 @@
+//! Flat, precomputed transition tables for the packed hot path.
+//!
+//! Every threshold the `STABLERANKING` dispatcher consults per
+//! interaction — counter ceilings from [`Params`], the phase geometry
+//! from [`FSeq`], and the handful of fixed "rebirth" states (triggered
+//! reset, fresh leader-election entrant, phase-1 joiner, waiting
+//! leader) — is computed **once** here, at protocol construction.
+//! The transition then reduces to integer compares, table lookups, and
+//! OR-ing a precomposed word with a coin bit: no `f64` log/ceil, no
+//! enum construction, no recomputation of the `f`-sequence.
+
+use leader_election::fast::FastLe;
+
+use crate::fseq::FSeq;
+use crate::params::Params;
+use crate::stable::packed::{PackedState, LANE_MASK};
+use crate::stable::state::MainKind;
+
+/// Precomputed thresholds and precomposed words for one
+/// `StableRanking` instance. Built once in `StableRanking::new`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StepTables {
+    /// Population size `n`.
+    pub n: u64,
+    /// Number of phases, `⌈log₂ n⌉`.
+    pub kmax: u32,
+    /// `⌈c_wait log₂ n⌉`.
+    pub wait_max: u32,
+    /// `L_max = ⌈c_live log₂ n⌉`.
+    pub l_max: u32,
+    /// `R_max = ⌈c_reset log₂ n⌉`.
+    pub r_max: u32,
+    /// `D_max = ⌈c_delay log₂ n⌉`.
+    pub d_max: u32,
+    /// `f[k-1] = f_k` for `k ∈ [1, kmax+1]` (the `FSeq` values).
+    f: Vec<u64>,
+    /// `window[k-1] = f_k − f_{k+1}` for `k ∈ [1, kmax]`.
+    window: Vec<u64>,
+    /// Triggered agent (`TRIGGERRESET`): `(resetCount, delayCount) =
+    /// (R_max, D_max)`, coin bit zero — OR the victim's coin in.
+    pub triggered: PackedState,
+    /// Fresh `FASTLEADERELECTION` entrant (dormant wake-up target),
+    /// coin bit zero.
+    pub elect_init: PackedState,
+    /// Phase-1 joiner with a full liveness counter (Protocol 3 lines
+    /// 4–6), coin bit zero.
+    pub join_phase1: PackedState,
+    /// Waiting agent with full counters (`aliveCount = L_max`,
+    /// `waitCount = waitMax`), coin bit zero — the lottery winner's and
+    /// the mid-ranking leader's rebirth state.
+    pub leader_wait: PackedState,
+}
+
+impl StepTables {
+    /// Build the tables from the protocol's parameter set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any counter ceiling overflows its 16-bit packed lane
+    /// (unreachable for any representable `n` and sane constants).
+    pub fn new(params: &Params, fseq: &FSeq, fast: &FastLe) -> Self {
+        let kmax = fseq.kmax();
+        for (name, value) in [
+            ("waitMax", params.wait_max()),
+            ("L_max", params.l_max()),
+            ("R_max", params.r_max()),
+            ("D_max", params.d_max()),
+            ("LE L_max", fast.l_max),
+            ("kmax", kmax),
+        ] {
+            assert!(
+                u64::from(value) <= LANE_MASK,
+                "{name} = {value} overflows a 16-bit packed counter lane"
+            );
+        }
+        let f: Vec<u64> = (1..=kmax + 1).map(|k| fseq.f(k)).collect();
+        let window = (1..=kmax).map(|k| fseq.leader_window(k)).collect();
+        Self {
+            n: fseq.n(),
+            kmax,
+            wait_max: params.wait_max(),
+            l_max: params.l_max(),
+            r_max: params.r_max(),
+            d_max: params.d_max(),
+            f,
+            window,
+            triggered: PackedState::reset(false, params.r_max(), params.d_max()),
+            elect_init: PackedState::elect(false, fast.initial_state()),
+            join_phase1: PackedState::main(false, params.l_max(), MainKind::Phase(1)),
+            leader_wait: PackedState::main(
+                false,
+                params.l_max(),
+                MainKind::Waiting(params.wait_max()),
+            ),
+        }
+    }
+
+    /// `f_k` for `1 ≤ k ≤ kmax + 1` (panics outside that range, like
+    /// [`FSeq::f`]).
+    #[inline]
+    pub fn f(&self, k: u32) -> u64 {
+        self.f[(k - 1) as usize]
+    }
+
+    /// `f_k − f_{k+1}` for `1 ≤ k ≤ kmax`.
+    #[inline]
+    pub fn window(&self, k: u32) -> u64 {
+        self.window[(k - 1) as usize]
+    }
+
+    /// The liveness-check threshold `⌊n · 2^{−k}⌋` (Protocol 4 line
+    /// 13); a pure shift, mirroring [`FSeq::productive_threshold`].
+    #[inline]
+    pub fn productive_threshold(&self, k: u32) -> u64 {
+        self.n >> k.min(63)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tables(n: usize) -> StepTables {
+        let params = Params::new(n);
+        let fseq = params.fseq();
+        let fast = FastLe::for_n(n, params.c_live());
+        StepTables::new(&params, &fseq, &fast)
+    }
+
+    #[test]
+    fn tables_mirror_fseq_and_params() {
+        for n in [2usize, 5, 16, 33, 256, 1000] {
+            let params = Params::new(n);
+            let fseq = params.fseq();
+            let t = tables(n);
+            assert_eq!(t.n, n as u64);
+            assert_eq!(t.kmax, fseq.kmax());
+            assert_eq!(t.wait_max, params.wait_max());
+            assert_eq!(t.l_max, params.l_max());
+            assert_eq!(t.r_max, params.r_max());
+            assert_eq!(t.d_max, params.d_max());
+            for k in 1..=fseq.kmax() {
+                assert_eq!(t.f(k), fseq.f(k), "f({k}) at n={n}");
+                assert_eq!(t.window(k), fseq.leader_window(k), "window({k}) at n={n}");
+                assert_eq!(
+                    t.productive_threshold(k),
+                    fseq.productive_threshold(k),
+                    "threshold({k}) at n={n}"
+                );
+            }
+            assert_eq!(t.f(fseq.kmax() + 1), 1);
+        }
+    }
+
+    #[test]
+    fn precomposed_words_decode_to_the_rebirth_states() {
+        use crate::stable::state::{StableState, UnRole, UnState};
+        let n = 64;
+        let params = Params::new(n);
+        let fast = FastLe::for_n(n, params.c_live());
+        let t = tables(n);
+        assert_eq!(
+            t.triggered.unpack(),
+            StableState::Un(UnState {
+                coin: false,
+                role: UnRole::Reset {
+                    reset_count: params.r_max(),
+                    delay_count: params.d_max(),
+                },
+            })
+        );
+        assert_eq!(
+            t.elect_init.unpack(),
+            StableState::Un(UnState {
+                coin: false,
+                role: UnRole::Elect(fast.initial_state()),
+            })
+        );
+        assert_eq!(
+            t.join_phase1.unpack(),
+            StableState::Un(UnState {
+                coin: false,
+                role: UnRole::Main {
+                    alive: params.l_max(),
+                    kind: MainKind::Phase(1),
+                },
+            })
+        );
+        assert_eq!(
+            t.leader_wait.unpack(),
+            StableState::Un(UnState {
+                coin: false,
+                role: UnRole::Main {
+                    alive: params.l_max(),
+                    kind: MainKind::Waiting(params.wait_max()),
+                },
+            })
+        );
+    }
+}

@@ -66,6 +66,7 @@ impl FastLe {
     /// and [`FastLeEffect::TimedOut`] the caller is responsible for
     /// discarding the leader-election state (the paper sets all fields to
     /// `⊥`).
+    #[inline]
     pub fn step(&self, u: &mut FastLeState, responder_coin: bool) -> FastLeEffect {
         // Line 1: LECount(u) ← LECount(u) − 1.
         u.le_count = u.le_count.saturating_sub(1);
@@ -92,6 +93,18 @@ impl FastLe {
         }
         FastLeEffect::None
     }
+
+    /// [`step`](FastLe::step) over the packed representation of
+    /// [`FastLeState::to_bits`]: unpacks into registers, steps, and
+    /// repacks, so the word-packed simulation path shares the exact
+    /// Protocol 5 logic (equivalence is by construction, and pinned by
+    /// a property test).
+    #[inline]
+    pub fn step_bits(&self, bits: u64, responder_coin: bool) -> (u64, FastLeEffect) {
+        let mut s = FastLeState::from_bits(bits);
+        let effect = self.step(&mut s, responder_coin);
+        (s.to_bits(), effect)
+    }
 }
 
 /// Per-agent state of Protocol 5 (the synthetic coin lives in the
@@ -106,6 +119,50 @@ pub struct FastLeState {
     pub leader_done: bool,
     /// Did this agent win the lottery (`isLeader`)?
     pub is_leader: bool,
+}
+
+/// Width of each counter field in the packed representation.
+const FIELD_BITS: u32 = 16;
+const FIELD_MASK: u64 = (1 << FIELD_BITS) - 1;
+const DONE_BIT: u64 = 1 << 32;
+const LEADER_BIT: u64 = 1 << 33;
+
+impl FastLeState {
+    /// Number of bits used by [`to_bits`](FastLeState::to_bits):
+    /// `LECount` (16) | `coinCount` (16) | `leaderDone` | `isLeader`.
+    pub const BITS: u32 = 34;
+
+    /// Pack into the low [`BITS`](FastLeState::BITS) bits of a word —
+    /// the leader-election lanes of the packed-state representation
+    /// used by the simulator's word-packed hot path.
+    ///
+    /// Lossless for counters below `2^16`, which `L_max = ⌈c_live log₂ n⌉`
+    /// and `coinCount ≤ ⌈log₂ n⌉` satisfy for every representable `n`
+    /// (debug-asserted).
+    #[inline]
+    pub fn to_bits(self) -> u64 {
+        debug_assert!(u64::from(self.le_count) <= FIELD_MASK, "LECount overflow");
+        debug_assert!(
+            u64::from(self.coin_count) <= FIELD_MASK,
+            "coinCount overflow"
+        );
+        u64::from(self.le_count)
+            | (u64::from(self.coin_count) << FIELD_BITS)
+            | if self.leader_done { DONE_BIT } else { 0 }
+            | if self.is_leader { LEADER_BIT } else { 0 }
+    }
+
+    /// Inverse of [`to_bits`](FastLeState::to_bits). Bits above
+    /// [`BITS`](FastLeState::BITS) are ignored.
+    #[inline]
+    pub fn from_bits(bits: u64) -> Self {
+        Self {
+            le_count: (bits & FIELD_MASK) as u32,
+            coin_count: ((bits >> FIELD_BITS) & FIELD_MASK) as u32,
+            leader_done: bits & DONE_BIT != 0,
+            is_leader: bits & LEADER_BIT != 0,
+        }
+    }
 }
 
 /// What the embedding protocol must do after a [`FastLe::step`].
@@ -348,6 +405,42 @@ mod tests {
         .max()
         .unwrap();
         assert!(max_winners <= 6, "saw {max_winners} simultaneous winners");
+    }
+
+    #[test]
+    fn bits_roundtrip_over_the_full_state_space() {
+        let p = params();
+        for le in 0..=p.l_max {
+            for cc in 0..=p.coin_target {
+                for (done, lead) in [(false, false), (true, false), (true, true)] {
+                    let s = FastLeState {
+                        le_count: le,
+                        coin_count: cc,
+                        leader_done: done,
+                        is_leader: lead,
+                    };
+                    let bits = s.to_bits();
+                    assert!(bits < 1 << FastLeState::BITS);
+                    assert_eq!(FastLeState::from_bits(bits), s);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn step_bits_matches_step() {
+        let p = params();
+        for coin in [false, true] {
+            let mut s = p.initial_state();
+            let mut bits = s.to_bits();
+            for _ in 0..p.l_max {
+                let effect = p.step(&mut s, coin);
+                let (next_bits, bits_effect) = p.step_bits(bits, coin);
+                assert_eq!(bits_effect, effect);
+                assert_eq!(FastLeState::from_bits(next_bits), s);
+                bits = next_bits;
+            }
+        }
     }
 
     #[test]

@@ -41,6 +41,15 @@
 //!   [`Simulator::run_observed`]; [`Simulator::run_until`] and
 //!   [`Simulator::run_sampled`] are sugar for the two most common cases.
 //!
+//! * **State representation** — protocols whose state space fits in a
+//!   machine word implement [`PackedProtocol`] (a lossless codec plus a
+//!   transition over packed words); wrapping such a protocol in
+//!   [`Packed`] runs the whole simulation over a flat `Vec` of words
+//!   (structure-of-arrays layout), unpacking only at observation
+//!   ([`observe::Unpacked`]) and fault ([`UnpackedHook`]) boundaries.
+//!   The packed path is bit-for-bit trajectory-equivalent to the
+//!   structured one — a pure optimization, exactly like batching.
+//!
 //! # Components
 //!
 //! * [`Protocol`] — the transition function and population size.
@@ -125,9 +134,9 @@ pub mod silence;
 
 pub use observe::{Control, Observer};
 pub use pairs::pair_mut;
-pub use protocol::{Protocol, RankOutput};
+pub use protocol::{Packed, PackedProtocol, Protocol, RankOutput};
 pub use schedule::{PairSource, Schedule};
-pub use sim::{FaultHook, NoFaults, Simulator, StopReason};
+pub use sim::{FaultHook, NoFaults, Simulator, StopReason, UnpackedHook};
 
 /// Returns `true` iff the ranks output by `states` form a permutation of
 /// `1..=n`, i.e. the configuration is a *valid ranking* (the paper's legal

@@ -23,7 +23,7 @@
 //! [`run_sampled`](crate::Simulator::run_sampled) are thin sugar over
 //! this pipeline.
 
-use crate::protocol::Protocol;
+use crate::protocol::{Packed, PackedProtocol, Protocol};
 use crate::silence::is_silent;
 
 /// Verdict returned by an observer at a checkpoint.
@@ -244,6 +244,51 @@ impl<P: Protocol, F: FnMut(&[P::State]) -> u64> Observer<P> for Thresholds<F> {
         } else {
             Control::Continue
         }
+    }
+}
+
+/// Adapts an observer written against a protocol's structured states to
+/// a run over the [`Packed`] words: at every checkpoint the
+/// configuration is unpacked into a reused scratch buffer and handed to
+/// the inner observer.
+///
+/// This is the observation end of the packed-representation contract —
+/// the hot loop never unpacks; only the (sparse) checkpoints pay the
+/// codec cost, `O(n)` per poll. Predicates that can read packed words
+/// directly (e.g. `is_valid_ranking` over a word type implementing
+/// `RankOutput`) don't need this adapter at all.
+#[derive(Debug)]
+pub struct Unpacked<P: PackedProtocol, O> {
+    inner: O,
+    scratch: Vec<P::State>,
+}
+
+impl<P: PackedProtocol, O> Unpacked<P, O> {
+    /// Wrap a structured-state observer for a packed run.
+    pub fn new(inner: O) -> Self {
+        Self {
+            inner,
+            scratch: Vec::new(),
+        }
+    }
+
+    /// The wrapped observer (e.g. to read its recorded results).
+    pub fn inner(&self) -> &O {
+        &self.inner
+    }
+
+    /// Consume the adapter, returning the wrapped observer.
+    pub fn into_inner(self) -> O {
+        self.inner
+    }
+}
+
+impl<P: PackedProtocol, O: Observer<P>> Observer<Packed<P>> for Unpacked<P, O> {
+    fn observe(&mut self, protocol: &Packed<P>, t: u64, words: &[P::Packed]) -> Control {
+        self.scratch.clear();
+        self.scratch
+            .extend(words.iter().map(|&w| protocol.inner().unpack(w)));
+        self.inner.observe(protocol.inner(), t, &self.scratch)
     }
 }
 

@@ -28,9 +28,101 @@ pub trait Protocol {
     /// Apply one interaction to `(initiator, responder)`, mutating the
     /// states in place. Returns `true` iff either state changed.
     ///
-    /// The return value is advisory (used by observers and tests); the
-    /// engine does not rely on it for correctness.
+    /// **Contract:** the flag must have no false negatives — returning
+    /// `false` asserts that *neither* state was mutated, and the batched
+    /// engine uses it to skip the write-back of null interactions (a
+    /// silent configuration then dirties no cache lines). Returning a
+    /// spurious `true` for an unchanged pair is always safe, merely
+    /// unoptimized.
     fn transition(&self, initiator: &mut Self::State, responder: &mut Self::State) -> bool;
+}
+
+/// A [`Protocol`] that additionally offers a *packed* machine-word
+/// state representation with its own transition path.
+///
+/// Structured state types (nested enums with per-role counters) are the
+/// readable reference representation, but they cost the hot loop dearly:
+/// a three-level enum occupies several words, and its transition walks a
+/// tree of matches. Protocols whose state space fits in one machine word
+/// (the whole point of the paper's `n + O(log² n)` construction) can
+/// expose a lossless codec plus a transition that operates on the packed
+/// words directly.
+///
+/// The contract, property-tested for every implementation:
+///
+/// * `unpack(pack(s)) == s` for every valid state `s`, and
+///   `pack(unpack(w)) == w` for every word `w` produced by `pack`;
+/// * [`transition_packed`](PackedProtocol::transition_packed) commutes
+///   with the codec: packing, stepping packed, and unpacking yields
+///   exactly what [`Protocol::transition`] yields — bit-for-bit, so the
+///   packed path is a pure optimization exactly like the batched loop.
+///
+/// Run a protocol packed by wrapping it in [`Packed`], which implements
+/// [`Protocol`] over the packed words: the simulator then stores the
+/// population as a flat `Vec` of words (structure-of-arrays layout) and
+/// never unpacks on the hot path. Observation and fault injection
+/// unpack only at their boundaries — see
+/// [`observe::Unpacked`](crate::observe::Unpacked) and
+/// [`UnpackedHook`](crate::UnpackedHook).
+pub trait PackedProtocol: Protocol {
+    /// The packed word type (typically a `#[repr(transparent)]` wrapper
+    /// over `u64`).
+    type Packed: Copy + PartialEq + Debug;
+
+    /// Encode a state into its packed word (lossless).
+    fn pack(&self, state: &Self::State) -> Self::Packed;
+
+    /// Decode a packed word back into the structured state.
+    fn unpack(&self, word: Self::Packed) -> Self::State;
+
+    /// Apply one interaction directly on packed words; must be
+    /// trajectory-equivalent to [`Protocol::transition`] through the
+    /// codec. Returns `true` iff either word changed.
+    fn transition_packed(&self, u: &mut Self::Packed, v: &mut Self::Packed) -> bool;
+}
+
+/// Adapter running a [`PackedProtocol`] over its packed words: the
+/// simulator's state vector becomes a flat `Vec<P::Packed>` and every
+/// interaction dispatches to
+/// [`transition_packed`](PackedProtocol::transition_packed).
+///
+/// ```ignore
+/// let protocol = Packed(StableRanking::new(Params::new(n)));
+/// let init = protocol.pack_all(&protocol.inner().initial());
+/// let mut sim = Simulator::new(protocol, init, seed);
+/// sim.run_batched(1_000_000); // hot loop over u64 words
+/// ```
+#[derive(Debug, Clone)]
+pub struct Packed<P>(pub P);
+
+impl<P: PackedProtocol> Packed<P> {
+    /// The wrapped protocol.
+    pub fn inner(&self) -> &P {
+        &self.0
+    }
+
+    /// Pack a whole configuration.
+    pub fn pack_all(&self, states: &[P::State]) -> Vec<P::Packed> {
+        states.iter().map(|s| self.0.pack(s)).collect()
+    }
+
+    /// Unpack a whole configuration (the observation-boundary inverse
+    /// of [`pack_all`](Packed::pack_all)).
+    pub fn unpack_all(&self, words: &[P::Packed]) -> Vec<P::State> {
+        words.iter().map(|&w| self.0.unpack(w)).collect()
+    }
+}
+
+impl<P: PackedProtocol> Protocol for Packed<P> {
+    type State = P::Packed;
+
+    fn n(&self) -> usize {
+        self.0.n()
+    }
+
+    fn transition(&self, u: &mut Self::State, v: &mut Self::State) -> bool {
+        self.0.transition_packed(u, v)
+    }
 }
 
 /// Output map for ranking protocols: the rank an agent currently outputs,

@@ -1,6 +1,6 @@
 use crate::observe::{Convergence, Observer, Sampler};
 use crate::pairs::pair_mut;
-use crate::protocol::Protocol;
+use crate::protocol::{Packed, PackedProtocol, Protocol};
 use crate::schedule::{PairSource, Schedule, BLOCK_PAIRS};
 
 /// Why a bounded run stopped.
@@ -62,6 +62,53 @@ impl<P: Protocol> FaultHook<P> for NoFaults {
     }
 
     fn fire(&mut self, _protocol: &P, _t: u64, _states: &mut [P::State]) {}
+}
+
+/// Adapts a [`FaultHook`] written against a protocol's structured
+/// states to a run over the [`Packed`] words: the configuration is
+/// unpacked at the fault boundary, handed to the inner hook, and
+/// re-packed.
+///
+/// This is the fault-injection end of the packed-representation
+/// contract — the hot loop stays on flat words, and the (rare) fault
+/// firings pay the codec cost. Because the inner hook sees exactly the
+/// states it would see in an unpacked run (and its own RNG is
+/// untouched), a packed faulted run is trajectory-equivalent to the
+/// unpacked one under the same seeds.
+#[derive(Debug)]
+pub struct UnpackedHook<H> {
+    inner: H,
+}
+
+impl<H> UnpackedHook<H> {
+    /// Wrap a structured-state hook for a packed run.
+    pub fn new(inner: H) -> Self {
+        Self { inner }
+    }
+
+    /// The wrapped hook (e.g. to read a `FaultPlan`'s firing log).
+    pub fn inner(&self) -> &H {
+        &self.inner
+    }
+
+    /// Consume the adapter, returning the wrapped hook.
+    pub fn into_inner(self) -> H {
+        self.inner
+    }
+}
+
+impl<P: PackedProtocol, H: FaultHook<P>> FaultHook<Packed<P>> for UnpackedHook<H> {
+    fn next_fire(&mut self, now: u64) -> Option<u64> {
+        self.inner.next_fire(now)
+    }
+
+    fn fire(&mut self, protocol: &Packed<P>, t: u64, words: &mut [P::Packed]) {
+        let mut states: Vec<P::State> = words.iter().map(|&w| protocol.inner().unpack(w)).collect();
+        self.inner.fire(protocol.inner(), t, &mut states);
+        for (w, s) in words.iter_mut().zip(&states) {
+            *w = protocol.inner().pack(s);
+        }
+    }
 }
 
 /// A seeded, deterministic executor for a [`Protocol`].
@@ -190,7 +237,11 @@ impl<P: Protocol, S: PairSource> Simulator<P, S> {
     /// are applied read–compute–writeback on cloned states, which avoids
     /// the slice-splitting branches of [`pair_mut`] in the inner loop
     /// (states are small `Copy`-like values in every protocol here, so
-    /// the clones compile to register moves).
+    /// the clones compile to register moves). Null interactions —
+    /// [`transition`](Protocol::transition) returned `false` — skip the
+    /// write-back entirely, so a (partially) silent configuration
+    /// dirties no cache lines; this is why the `changed` flag's
+    /// "no false negatives" contract exists.
     pub fn run_batched(&mut self, count: u64) {
         let mut remaining = count;
         while remaining > 0 {
@@ -200,9 +251,10 @@ impl<P: Protocol, S: PairSource> Simulator<P, S> {
             for &(i, j) in block {
                 let mut u = states[i as usize].clone();
                 let mut v = states[j as usize].clone();
-                self.protocol.transition(&mut u, &mut v);
-                states[i as usize] = u;
-                states[j as usize] = v;
+                if self.protocol.transition(&mut u, &mut v) {
+                    states[i as usize] = u;
+                    states[j as usize] = v;
+                }
             }
             let executed = block.len() as u64;
             self.interactions += executed;

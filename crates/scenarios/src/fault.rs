@@ -34,6 +34,16 @@ pub trait Fault<S> {
     fn apply(&mut self, states: &mut [S], rng: &mut SmallRng);
 }
 
+impl<S> Fault<S> for Box<dyn Fault<S>> {
+    fn name(&self) -> &'static str {
+        self.as_ref().name()
+    }
+
+    fn apply(&mut self, states: &mut [S], rng: &mut SmallRng) {
+        self.as_mut().apply(states, rng);
+    }
+}
+
 /// Rewrites `k` distinct, uniformly chosen agents with freshly generated
 /// states (all agents when `k >= n`).
 ///

@@ -17,12 +17,56 @@
 //! * [`randomize`] — the whole population re-drawn uniformly, i.e. a
 //!   fresh adversarial initialization mid-run.
 
+//! # Packed runs
+//!
+//! All injectors here corrupt structured [`StableState`]s, while the
+//! throughput-critical simulations run `StableRanking` over its packed
+//! single-word representation (`population::Packed`). The two meet at
+//! the fault boundary: wrap any plan in
+//! [`population::UnpackedHook`] and the engine unpacks the
+//! configuration only at firing points, corrupts it with the exact same
+//! injector logic and RNG stream, and re-packs — so a packed faulted
+//! run is trajectory-equivalent to the structured one (property-tested
+//! in `tests/packed_equivalence.rs`).
+
 use rand::rngs::SmallRng;
 use rand::RngExt;
 use ranking::stable::state::{UnRole, UnState};
 use ranking::stable::{StableRanking, StableState};
 
 use crate::fault::{DuplicateRank, EraseRank, Fault, MapStates, StateRewrite};
+
+/// Every injector kind this module provides, in canonical table order —
+/// shared by the recovery benchmark and the packed-equivalence tests so
+/// "every injector" means the same list everywhere.
+pub const KINDS: [&str; 6] = [
+    "corrupt",
+    "churn",
+    "duplicate_rank",
+    "erase_rank",
+    "coin_bias",
+    "randomize",
+];
+
+/// Construct the injector named `kind` with its conventional severity
+/// for population size `n` (a quarter corrupted / churned, an eighth
+/// erased, two duplicates, all coins forced to heads, or the whole
+/// population randomized).
+///
+/// # Panics
+///
+/// Panics on a name outside [`KINDS`].
+pub fn standard(kind: &str, protocol: &StableRanking, n: usize) -> Box<dyn Fault<StableState>> {
+    match kind {
+        "corrupt" => Box::new(corrupt(protocol, (n / 4).max(1))),
+        "churn" => Box::new(churn(protocol, (n / 4).max(1))),
+        "duplicate_rank" => Box::new(duplicate_rank(2)),
+        "erase_rank" => Box::new(erase_rank(protocol, (n / 8).max(1))),
+        "coin_bias" => Box::new(coin_bias(true)),
+        "randomize" => Box::new(randomize(protocol)),
+        other => panic!("unknown injector kind {other} (see ranking_faults::KINDS)"),
+    }
+}
 
 /// A factory-new agent: initial `FASTLEADERELECTION` state, random coin.
 fn fresh_joiner(protocol: &StableRanking) -> impl FnMut(&mut SmallRng) -> StableState {
@@ -133,6 +177,51 @@ mod tests {
         let mut rng = SmallRng::seed_from_u64(5);
         coin_bias(true).apply(&mut states, &mut rng);
         assert!(states.iter().all(|s| s.coin() == Some(true)));
+    }
+
+    #[test]
+    fn standard_builds_every_kind() {
+        let p = StableRanking::new(Params::new(32));
+        let mut rng = SmallRng::seed_from_u64(9);
+        for kind in KINDS {
+            let mut fault = standard(kind, &p, 32);
+            assert_eq!(fault.name(), kind);
+            let mut states = p.legal();
+            fault.apply(&mut states, &mut rng);
+            assert!(
+                states.iter().all(|s| s.is_valid_for(p.params())),
+                "{kind} left the state space"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown injector kind")]
+    fn standard_rejects_unknown_kinds() {
+        let p = StableRanking::new(Params::new(8));
+        let _ = standard("bitflip", &p, 8);
+    }
+
+    #[test]
+    fn injectors_drive_packed_runs_through_the_unpack_boundary() {
+        // The packed hot path never sees structured states; the
+        // injector fires through `UnpackedHook` at the fault boundary
+        // and the run continues on words.
+        use crate::FaultPlan;
+        use population::{ranked_count, Packed, Simulator, UnpackedHook};
+
+        let n = 32;
+        let p = Packed(StableRanking::new(Params::new(n)));
+        let init = p.pack_all(&p.inner().legal());
+        let mut sim = Simulator::new(p, init, 4);
+        let mut hook = UnpackedHook::new(
+            FaultPlan::new(7).once(1000, standard("erase_rank", sim.protocol().inner(), n)),
+        );
+        sim.run_faulted(1001, &mut hook);
+        assert_eq!(hook.inner().fired().len(), 1);
+        // `PackedState` implements `RankOutput`, so the word-level
+        // configuration is directly observable: exactly n/8 ranks lost.
+        assert_eq!(ranked_count(sim.states()), n - n / 8);
     }
 
     #[test]
