@@ -22,7 +22,7 @@ pub mod reset;
 pub mod state;
 pub mod tables;
 
-use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use leader_election::fast::{FastLe, FastLeEffect};
 use population::{PackedProtocol, Protocol};
@@ -40,13 +40,18 @@ pub use crate::stable::packed::PackedState;
 pub use crate::stable::state::StableState;
 
 /// The self-stabilizing ranking protocol of Theorem 2.
+///
+/// The value is `Sync`: all transition state (`Params`, `FSeq`,
+/// [`StepTables`]) is immutable after construction, and the reset-event
+/// instrumentation is a relaxed [`AtomicU64`], so one protocol value can
+/// drive a sharded multi-threaded run (`crates/shard`) without locking.
 #[derive(Debug)]
 pub struct StableRanking {
     params: Params,
     fseq: FSeq,
     fast: FastLe,
     tables: StepTables,
-    reset_events: Cell<u64>,
+    reset_events: AtomicU64,
 }
 
 impl Clone for StableRanking {
@@ -56,7 +61,7 @@ impl Clone for StableRanking {
             fseq: self.fseq.clone(),
             fast: self.fast,
             tables: self.tables.clone(),
-            reset_events: Cell::new(self.reset_events.get()),
+            reset_events: AtomicU64::new(self.resets_triggered()),
         }
     }
 }
@@ -89,7 +94,7 @@ impl StableRanking {
             fseq,
             fast,
             tables,
-            reset_events: Cell::new(0),
+            reset_events: AtomicU64::new(0),
         }
     }
 
@@ -114,9 +119,12 @@ impl StableRanking {
     }
 
     /// Number of resets triggered so far across all interactions executed
-    /// through this protocol value (experiment instrumentation).
+    /// through this protocol value (experiment instrumentation). In a
+    /// sharded run the counter aggregates across threads (relaxed
+    /// ordering: the total is exact once the run has joined, but
+    /// mid-run reads may lag).
     pub fn resets_triggered(&self) -> u64 {
-        self.reset_events.get()
+        self.reset_events.load(Ordering::Relaxed)
     }
 
     fn elect_state(&self, coin: bool) -> StableState {
@@ -273,7 +281,7 @@ impl StableRanking {
     }
 
     fn count_reset(&self) {
-        self.reset_events.set(self.reset_events.get() + 1);
+        self.reset_events.fetch_add(1, Ordering::Relaxed);
     }
 }
 
@@ -292,15 +300,34 @@ impl Protocol for StableRanking {
             // Protocol 3 line 1: propagate resets / wake dormant agents.
             reset::propagate_step(&self.fast, self.params.d_max(), u, v);
         } else if u.is_electing() && v.is_electing() {
+            if self.params.n() == 2 {
+                // Two-agent special case: the lottery of Protocol 5 is
+                // structurally unwinnable at n = 2 — the lone responder's
+                // synthetic coin toggles on every response (lines 9–10),
+                // so one agent's successive coin observations strictly
+                // alternate and the required two consecutive heads never
+                // occur. With a single possible partner, anonymity buys
+                // nothing: the initiator of the first elect–elect meeting
+                // simply wins, deterministically, and starts the main
+                // phase as the waiting leader.
+                let coin = u.coin().expect("electing agents carry a coin");
+                *u = StableState::Un(UnState {
+                    coin,
+                    role: UnRole::Main {
+                        alive: self.params.l_max(),
+                        kind: MainKind::Waiting(self.params.wait_max()),
+                    },
+                });
+            }
             // Lines 2–3: both electing — run FASTLEADERELECTION for the
             // initiator, observing the responder's coin.
-            let v_coin = v.coin().expect("electing agents carry a coin");
-            if let StableState::Un(UnState {
+            else if let StableState::Un(UnState {
                 coin,
                 role: UnRole::Elect(le),
             }) = u
             {
                 let coin_u = *coin;
+                let v_coin = v.coin().expect("electing agents carry a coin");
                 match self.fast.step(le, v_coin) {
                     FastLeEffect::None => {}
                     FastLeEffect::BecomeWaitingLeader => {
@@ -380,22 +407,30 @@ impl PackedProtocol for StableRanking {
             // Protocol 3 line 1: propagate resets / wake dormant agents.
             reset::propagate_step_packed(t, u, v);
         } else if u.0 & v.0 & TAG_ELECT != 0 {
-            // Lines 2–3: both electing — run FASTLEADERELECTION for the
-            // initiator, observing the responder's coin.
-            let (bits, effect) = self.fast.step_bits(u.le_bits(), v.coin());
-            match effect {
-                FastLeEffect::None => {
-                    u.0 = (u.0 & (TAG_MASK | COIN_BIT)) | (bits << A_SHIFT);
-                }
-                FastLeEffect::BecomeWaitingLeader => {
-                    // Protocol 5 lines 10–11: forget the LE state and
-                    // start the main phase; the coin is maintained.
-                    u.0 = t.leader_wait.bits() | (u.0 & COIN_BIT);
-                }
-                FastLeEffect::TimedOut => {
-                    // Protocol 5 lines 13–15: trigger a reset.
-                    reset::trigger_reset_packed(t, u);
-                    self.count_reset();
+            if self.params.n() == 2 {
+                // Two-agent special case (see `transition`): the lottery
+                // cannot be won against a single alternating coin, so the
+                // initiator of the first elect–elect meeting becomes the
+                // waiting leader deterministically.
+                u.0 = t.leader_wait.bits() | (u.0 & COIN_BIT);
+            } else {
+                // Lines 2–3: both electing — run FASTLEADERELECTION for
+                // the initiator, observing the responder's coin.
+                let (bits, effect) = self.fast.step_bits(u.le_bits(), v.coin());
+                match effect {
+                    FastLeEffect::None => {
+                        u.0 = (u.0 & (TAG_MASK | COIN_BIT)) | (bits << A_SHIFT);
+                    }
+                    FastLeEffect::BecomeWaitingLeader => {
+                        // Protocol 5 lines 10–11: forget the LE state and
+                        // start the main phase; the coin is maintained.
+                        u.0 = t.leader_wait.bits() | (u.0 & COIN_BIT);
+                    }
+                    FastLeEffect::TimedOut => {
+                        // Protocol 5 lines 13–15: trigger a reset.
+                        reset::trigger_reset_packed(t, u);
+                        self.count_reset();
+                    }
                 }
             }
         } else if (u.0 | v.0) & TAG_ELECT != 0 {
@@ -551,6 +586,34 @@ mod tests {
         let mut v = p.elect_state(false);
         p.transition(&mut u, &mut v);
         assert!(v.is_resetting(), "electing agent infected by the reset");
+    }
+
+    #[test]
+    fn two_agent_election_is_deterministic() {
+        // n = 2: the lottery is unwinnable (the lone responder's coin
+        // alternates), so the first elect–elect meeting elects the
+        // initiator outright.
+        let p = protocol(2);
+        let mut u = p.elect_state(true);
+        let mut v = p.elect_state(false);
+        assert!(p.transition(&mut u, &mut v));
+        assert!(u.is_waiting(), "initiator must win immediately");
+        assert_eq!(u.alive(), Some(p.params().l_max()));
+        assert_eq!(u.coin(), Some(true), "winner keeps its coin");
+        assert!(v.is_electing(), "responder only toggles its coin");
+        assert_eq!(p.resets_triggered(), 0);
+    }
+
+    #[test]
+    fn stabilizes_at_n_equals_two() {
+        // The boundary size Theorem 2 still covers; livelocked forever
+        // before the deterministic two-agent election special case.
+        let ok = run_seed_range(8, |seed| {
+            let init = protocol(2).adversarial_uniform(seed.wrapping_mul(31) + 100);
+            stabilizes_from(init, 2, seed, 8000.0).is_some()
+        });
+        let failures = ok.iter().filter(|b| !**b).count();
+        assert_eq!(failures, 0, "{failures}/8 n=2 adversarial starts failed");
     }
 
     #[test]

@@ -21,7 +21,10 @@
 //!   stream two ways: one pair at a time (scalar stepping) or
 //!   pre-sampled in cache-sized blocks (the batched hot path). Because
 //!   both styles consume the stream in FIFO order, *every execution
-//!   mode yields the identical trajectory for a given seed*.
+//!   mode yields the identical trajectory for a given seed*. For
+//!   parallel single-run execution, [`schedule::SubSchedule::split`]
+//!   partitions the uniform scheduler into balanced per-shard
+//!   sub-streams (the `shard` crate's engine is built on it).
 //! * **Execution** — [`Simulator`] applies the protocol's transition
 //!   function to scheduled pairs. [`Simulator::step`] executes one
 //!   interaction; [`Simulator::run_batched`] is the hot path, executing
@@ -132,10 +135,10 @@ pub mod runner;
 pub mod schedule;
 pub mod silence;
 
-pub use observe::{Control, Observer};
+pub use observe::{Control, Observer, ShardObserver, ShardedRanking, ShardedSilence};
 pub use pairs::pair_mut;
 pub use protocol::{Packed, PackedProtocol, Protocol, RankOutput};
-pub use schedule::{PairSource, Schedule};
+pub use schedule::{PairSource, Schedule, SubSchedule};
 pub use sim::{FaultHook, NoFaults, Simulator, StopReason, UnpackedHook};
 
 /// Returns `true` iff the ranks output by `states` form a permutation of

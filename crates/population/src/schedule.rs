@@ -147,11 +147,11 @@ pub struct Schedule {
 /// which is what makes them trajectory-equivalent.
 #[inline]
 fn draw_pair(rng: &mut SmallRng, n: usize) -> Pair {
-    let bits = rng.next_u64();
-    let i = (((bits & 0xFFFF_FFFF) * n as u64) >> 32) as u32;
-    let r = (((bits >> 32) * (n as u64 - 1)) >> 32) as u32;
-    let j = if r >= i { r + 1 } else { r };
-    (i, j)
+    // The full-range special case of the sub-schedule draw — delegating
+    // (rather than duplicating the index maps) is what keeps the
+    // `shards = 1 ≡ run_batched` anchor bit-identical *by construction*;
+    // `start = 0` and `len = n` constant-fold away.
+    draw_sub_pair(rng, n, 0, n)
 }
 
 impl Schedule {
@@ -217,6 +217,135 @@ impl PairSource for Schedule {
     #[inline]
     fn sample_block(&mut self, max: usize) -> &[Pair] {
         Schedule::sample_block(self, max)
+    }
+}
+
+/// Seed stride between sibling [`SubSchedule`]s of one split: shard `s`
+/// is seeded with `seed + s · STRIDE` (wrapping). `SmallRng`'s seeding
+/// expands a seed into four *consecutive* SplitMix64 outputs, so the
+/// stride is **four** SplitMix64 increments: sibling shards then draw
+/// disjoint, consecutive four-output windows of the same SplitMix64
+/// orbit — the reference "seed a family of generators from one
+/// SplitMix64 stream" construction. (A stride of one increment would
+/// make adjacent shards' state windows overlap in three of four
+/// words.) Shard 0's seed is exactly the base seed, which is what makes
+/// a 1-shard split reproduce [`Schedule`] bit for bit.
+pub const SHARD_SEED_STRIDE: u64 = 0x9E37_79B9_7F4A_7C15u64.wrapping_mul(4);
+
+/// A range-restricted uniform sub-schedule: the initiator is uniform
+/// over a contiguous slice `start..start+len` of the population, the
+/// responder uniform over the remaining `n − 1` agents — the per-shard
+/// pair stream of the sharded simulator (`crates/shard`).
+///
+/// The draw consumes exactly one RNG output per pair with the same
+/// widening-multiply index maps as [`Schedule`], so a `SubSchedule`
+/// covering the **full** range (`start = 0`, `len = n`) seeded with `s`
+/// produces *bit for bit* the stream of `Schedule::new(n, s)` — the
+/// anchor of the sharded engine's `shards = 1 ≡ run_batched`
+/// equivalence. A balanced family of sub-schedules (one per shard,
+/// each drawing the same number of pairs per block) approximates the
+/// uniform scheduler: initiators are uniform within each shard and
+/// shards are served equally, so the initiator marginal deviates from
+/// uniform only through the ≤ 1 agent size imbalance between shards.
+#[derive(Debug, Clone)]
+pub struct SubSchedule {
+    rng: SmallRng,
+    n: usize,
+    start: usize,
+    len: usize,
+    buf: BlockBuffer,
+}
+
+/// Draw one pair whose initiator is uniform over `start..start+len` and
+/// whose responder is uniform over the other `n − 1` agents, from a
+/// single 64-bit RNG output. This is the canonical pair draw:
+/// [`draw_pair`] is its full-range special case (the uniform
+/// scheduler), delegated rather than duplicated so the two can never
+/// drift apart.
+#[inline]
+fn draw_sub_pair(rng: &mut SmallRng, n: usize, start: usize, len: usize) -> Pair {
+    let bits = rng.next_u64();
+    let i = start as u32 + (((bits & 0xFFFF_FFFF) * len as u64) >> 32) as u32;
+    let r = (((bits >> 32) * (n as u64 - 1)) >> 32) as u32;
+    let j = if r >= i { r + 1 } else { r };
+    (i, j)
+}
+
+impl SubSchedule {
+    /// A sub-schedule over the initiator range `start..start+len` of a
+    /// population of `n` agents, seeded with `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 2`, `n > u32::MAX`, the range is empty, or the
+    /// range exceeds the population.
+    pub fn new(n: usize, start: usize, len: usize, seed: u64) -> Self {
+        assert!(n >= 2, "population needs at least two agents");
+        assert!(u32::try_from(n).is_ok(), "population size exceeds u32");
+        assert!(len >= 1, "initiator range must be nonempty");
+        assert!(
+            start.checked_add(len).is_some_and(|end| end <= n),
+            "initiator range {start}..{} exceeds population {n}",
+            start + len
+        );
+        Self {
+            rng: SmallRng::seed_from_u64(seed),
+            n,
+            start,
+            len,
+            buf: BlockBuffer::new(),
+        }
+    }
+
+    /// Split the uniform scheduler into `shards` balanced sub-schedules:
+    /// shard `s` owns the contiguous initiator range
+    /// `⌈s·n/shards⌉ .. ⌈(s+1)·n/shards⌉` (sizes differ by at most one)
+    /// and is seeded `seed + s ·`[`SHARD_SEED_STRIDE`]. With
+    /// `shards = 1` the single sub-schedule reproduces
+    /// `Schedule::new(n, seed)` exactly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 2` or `shards` is not in `1..=n`.
+    pub fn split(n: usize, seed: u64, shards: usize) -> Vec<SubSchedule> {
+        assert!(n >= 2, "population needs at least two agents");
+        assert!(
+            (1..=n).contains(&shards),
+            "shard count must be within 1..=n"
+        );
+        (0..shards)
+            .map(|s| {
+                let start = (s * n).div_ceil(shards);
+                let end = ((s + 1) * n).div_ceil(shards);
+                let shard_seed = seed.wrapping_add((s as u64).wrapping_mul(SHARD_SEED_STRIDE));
+                SubSchedule::new(n, start, end - start, shard_seed)
+            })
+            .collect()
+    }
+
+    /// The initiator range `[start, start + len)` this sub-schedule
+    /// draws from.
+    pub fn range(&self) -> (usize, usize) {
+        (self.start, self.start + self.len)
+    }
+}
+
+impl PairSource for SubSchedule {
+    fn n(&self) -> usize {
+        self.n
+    }
+
+    #[inline]
+    fn next_pair(&mut self) -> (usize, usize) {
+        let (rng, n, start, len) = (&mut self.rng, self.n, self.start, self.len);
+        self.buf.next_pair(|| draw_sub_pair(rng, n, start, len))
+    }
+
+    #[inline]
+    fn sample_block(&mut self, max: usize) -> &[Pair] {
+        let (rng, n, start, len) = (&mut self.rng, self.n, self.start, self.len);
+        self.buf
+            .sample_block(max, || draw_sub_pair(rng, n, start, len))
     }
 }
 
@@ -326,6 +455,139 @@ mod tests {
         let a: Vec<Pair> = inherent.sample_block(64).to_vec();
         let b: Vec<Pair> = dynamic.sample_block(64).to_vec();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn full_range_sub_schedule_matches_schedule_bit_for_bit() {
+        // The anchor of the sharded engine's shards = 1 equivalence: a
+        // sub-schedule over the whole population is the uniform
+        // scheduler, same seed, same stream.
+        let mut reference = Schedule::new(33, 1234);
+        let mut sub = SubSchedule::new(33, 0, 33, 1234);
+        for _ in 0..10_000 {
+            assert_eq!(reference.next_pair(), sub.next_pair());
+        }
+    }
+
+    #[test]
+    fn split_with_one_shard_is_the_uniform_scheduler() {
+        let mut shards = SubSchedule::split(20, 77, 1);
+        assert_eq!(shards.len(), 1);
+        assert_eq!(shards[0].range(), (0, 20));
+        let mut reference = Schedule::new(20, 77);
+        for _ in 0..3000 {
+            assert_eq!(reference.next_pair(), shards[0].next_pair());
+        }
+    }
+
+    #[test]
+    fn split_ranges_are_balanced_and_cover_the_population() {
+        for (n, shards) in [(10, 3), (16, 4), (7, 7), (100, 8), (5, 2)] {
+            let subs = SubSchedule::split(n, 0, shards);
+            let mut next = 0;
+            for sub in &subs {
+                let (start, end) = sub.range();
+                assert_eq!(start, next, "ranges must be contiguous");
+                let len = end - start;
+                assert!(
+                    (n / shards..=n.div_ceil(shards)).contains(&len),
+                    "n={n} shards={shards}: shard size {len} unbalanced"
+                );
+                next = end;
+            }
+            assert_eq!(next, n, "ranges must cover the population");
+        }
+    }
+
+    #[test]
+    fn sub_schedule_pairs_are_valid_and_initiators_stay_in_range() {
+        let mut sub = SubSchedule::new(29, 10, 9, 5);
+        for _ in 0..20_000 {
+            let (i, j) = sub.next_pair();
+            assert!((10..19).contains(&i), "initiator {i} out of range");
+            assert!(j < 29, "responder {j} out of range");
+            assert_ne!(i, j);
+        }
+    }
+
+    #[test]
+    fn sub_schedule_responders_reach_the_whole_population() {
+        let n = 12;
+        let mut sub = SubSchedule::new(n, 4, 2, 3);
+        let mut seen = vec![false; n];
+        for _ in 0..10_000 {
+            seen[sub.next_pair().1] = true;
+        }
+        let reachable = seen.iter().filter(|&&b| b).count();
+        assert!(reachable >= n - 1, "responders must span the population");
+    }
+
+    #[test]
+    fn sub_schedule_block_and_scalar_share_the_stream() {
+        let mut scalar = SubSchedule::new(40, 8, 12, 9);
+        let mut blocked = SubSchedule::new(40, 8, 12, 9);
+        let expected: Vec<(usize, usize)> = (0..3000).map(|_| scalar.next_pair()).collect();
+        let mut got = Vec::new();
+        while got.len() < 3000 {
+            let block = blocked.sample_block(3000 - got.len()).to_vec();
+            got.extend(block.iter().map(|&(i, j)| (i as usize, j as usize)));
+        }
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn sibling_shard_seed_windows_do_not_overlap() {
+        // SmallRng::seed_from_u64 expands a seed into the four SplitMix64
+        // outputs at orbit positions seed+G .. seed+4G (G = the SplitMix64
+        // increment). The shard stride must keep sibling windows disjoint:
+        // a stride of exactly G would overlap three of four state words.
+        fn splitmix_window(seed: u64) -> Vec<u64> {
+            let mut state = seed;
+            (0..4)
+                .map(|_| {
+                    state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                    let mut z = state;
+                    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                    z ^ (z >> 31)
+                })
+                .collect()
+        }
+        let seed = 0xDEAD_BEEF_u64;
+        let windows: Vec<Vec<u64>> = (0..8)
+            .map(|s| splitmix_window(seed.wrapping_add((s as u64).wrapping_mul(SHARD_SEED_STRIDE))))
+            .collect();
+        for (a, wa) in windows.iter().enumerate() {
+            for (b, wb) in windows.iter().enumerate() {
+                if a != b {
+                    assert!(
+                        wa.iter().all(|x| !wb.contains(x)),
+                        "shards {a} and {b} share SplitMix64 outputs"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sibling_shard_streams_differ() {
+        let mut subs = SubSchedule::split(16, 11, 2);
+        let (a, b) = subs.split_at_mut(1);
+        let first: Vec<_> = (0..100).map(|_| a[0].next_pair().1).collect();
+        let second: Vec<_> = (0..100).map(|_| b[0].next_pair().1).collect();
+        assert_ne!(first, second, "sibling shards must not share a stream");
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds population")]
+    fn sub_schedule_rejects_out_of_bounds_range() {
+        let _ = SubSchedule::new(10, 8, 4, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "shard count must be within")]
+    fn split_rejects_more_shards_than_agents() {
+        let _ = SubSchedule::split(4, 0, 5);
     }
 
     #[test]

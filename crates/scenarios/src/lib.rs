@@ -28,7 +28,10 @@
 //! * **Recovery measurement** ([`recovery`]) — [`recovery::Recovery`]
 //!   pairs each fired fault with the first checkpoint at which legality
 //!   holds again; [`recovery::run_recovery`] is the driver the `recovery`
-//!   bench binary (and `BENCH_recovery.json`) is built on.
+//!   bench binary (and `BENCH_recovery.json`) is built on, and
+//!   [`recovery::run_recovery_sharded`] is its counterpart over the
+//!   `shard` crate's multi-threaded single-run engine (fault plans fire
+//!   at the same exact interaction counts there).
 //!
 //! # Example: inject, recover, measure
 //!
@@ -62,5 +65,5 @@ pub mod sched;
 mod util;
 
 pub use fault::{DuplicateRank, EraseRank, Fault, FaultPlan, FiredFault, MapStates, StateRewrite};
-pub use recovery::{run_recovery, Recovery, RecoveryEvent};
+pub use recovery::{run_recovery, run_recovery_sharded, Recovery, RecoveryEvent};
 pub use sched::{BiasedSchedule, ClusteredSchedule, RoundRobinSchedule};

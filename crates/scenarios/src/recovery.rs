@@ -127,22 +127,122 @@ pub fn run_recovery<P, S, F>(
     S: PairSource,
     F: FnMut(&P, &[P::State]) -> bool,
 {
+    drive(sim, plan, recovery, max_interactions, check_every);
+}
+
+/// The engine operations the recovery driver needs, implemented for the
+/// sequential and the sharded simulator so the driver loop ([`drive`])
+/// exists exactly once and cannot diverge between the two.
+trait RecoveryEngine<P: Protocol> {
+    /// Interactions executed so far.
+    fn interactions(&self) -> u64;
+
+    /// Execute exactly `burst` interactions under the plan (faults fire
+    /// at their exact scheduled counts).
+    fn run_faulted_burst(&mut self, burst: u64, plan: &mut FaultPlan<P::State>);
+
+    /// Poll the recovery observer on the current configuration.
+    fn observe_into<F: FnMut(&P, &[P::State]) -> bool>(&self, recovery: &mut Recovery<F>);
+}
+
+impl<P: Protocol, S: PairSource> RecoveryEngine<P> for Simulator<P, S> {
+    fn interactions(&self) -> u64 {
+        Simulator::interactions(self)
+    }
+
+    fn run_faulted_burst(&mut self, burst: u64, plan: &mut FaultPlan<P::State>) {
+        self.run_faulted(burst, plan);
+    }
+
+    fn observe_into<F: FnMut(&P, &[P::State]) -> bool>(&self, recovery: &mut Recovery<F>) {
+        recovery.observe(
+            self.protocol(),
+            Simulator::interactions(self),
+            self.states(),
+        );
+    }
+}
+
+impl<P> RecoveryEngine<P> for shard::ShardedSimulator<P>
+where
+    P: Protocol + Sync,
+    P::State: Send,
+{
+    fn interactions(&self) -> u64 {
+        shard::ShardedSimulator::interactions(self)
+    }
+
+    fn run_faulted_burst(&mut self, burst: u64, plan: &mut FaultPlan<P::State>) {
+        self.run_faulted(burst, plan);
+    }
+
+    fn observe_into<F: FnMut(&P, &[P::State]) -> bool>(&self, recovery: &mut Recovery<F>) {
+        recovery.observe(
+            self.protocol(),
+            shard::ShardedSimulator::interactions(self),
+            &self.states(),
+        );
+    }
+}
+
+/// The shared driver loop behind [`run_recovery`] and
+/// [`run_recovery_sharded`].
+fn drive<P, E, F>(
+    sim: &mut E,
+    plan: &mut FaultPlan<P::State>,
+    recovery: &mut Recovery<F>,
+    max_interactions: u64,
+    check_every: u64,
+) where
+    P: Protocol,
+    E: RecoveryEngine<P>,
+    F: FnMut(&P, &[P::State]) -> bool,
+{
     assert!(check_every > 0, "check_every must be positive");
     let deadline = sim.interactions() + max_interactions;
-    recovery.observe(sim.protocol(), sim.interactions(), sim.states());
+    sim.observe_into(recovery);
     while sim.interactions() < deadline {
         let burst = check_every.min(deadline - sim.interactions());
         let seen = plan.fired().len();
-        sim.run_faulted(burst, plan);
+        sim.run_faulted_burst(burst, plan);
         for f in plan.fired()[seen..].iter().copied() {
             recovery.note_fault(f.at, f.name);
         }
-        recovery.observe(sim.protocol(), sim.interactions(), sim.states());
+        sim.observe_into(recovery);
         let more_faults_due = plan.peek_next().is_some_and(|t| t <= deadline);
         if recovery.all_recovered() && !more_faults_due {
             break;
         }
     }
+}
+
+/// Drive a **sharded** run for up to `max_interactions` under `plan`,
+/// recording every fault → re-stabilization interval into `recovery` —
+/// the sharded counterpart of [`run_recovery`], built on
+/// [`ShardedSimulator::run_faulted`](shard::ShardedSimulator::run_faulted).
+///
+/// Faults still fire at their exact scheduled interaction counts (the
+/// sharded engine splits its blocks there, just like the sequential
+/// one), and legality is polled on configuration snapshots every
+/// `check_every` interactions. With `shards = 1` this is
+/// trajectory-equivalent to [`run_recovery`] over a uniform
+/// [`Schedule`](population::Schedule).
+///
+/// # Panics
+///
+/// Panics if `check_every == 0`.
+pub fn run_recovery_sharded<P, F>(
+    sim: &mut shard::ShardedSimulator<P>,
+    plan: &mut FaultPlan<P::State>,
+    recovery: &mut Recovery<F>,
+    max_interactions: u64,
+    check_every: u64,
+) where
+    P: Protocol + Sync,
+    P::State: Send,
+    F: FnMut(&P, &[P::State]) -> bool,
+{
+    drive(sim, plan, recovery, max_interactions, check_every);
 }
 
 #[cfg(test)]
@@ -225,6 +325,43 @@ mod tests {
         assert!(rec.events()[0].recovered_at.is_none());
         assert!(!rec.all_recovered());
         assert_eq!(sim.interactions(), 10_000, "budget fully used");
+    }
+
+    #[test]
+    fn sharded_recovery_with_one_shard_matches_sequential() {
+        let n = 16;
+        let make_plan = || FaultPlan::new(1).once(1000, corrupt_to(50, 4));
+        let legal = |_: &Decay, s: &[u32]| s.iter().all(|&x| x == 0);
+
+        let mut seq = Simulator::new(Decay(n), vec![0; n], 3);
+        let mut seq_plan = make_plan();
+        let mut seq_rec = Recovery::new(legal);
+        run_recovery(&mut seq, &mut seq_plan, &mut seq_rec, 100_000, 100);
+
+        let mut sharded = shard::ShardedSimulator::new(Decay(n), vec![0; n], 3, 1);
+        let mut sh_plan = make_plan();
+        let mut sh_rec = Recovery::new(legal);
+        run_recovery_sharded(&mut sharded, &mut sh_plan, &mut sh_rec, 100_000, 100);
+
+        assert_eq!(sh_rec.events(), seq_rec.events());
+        assert_eq!(sharded.states(), seq.states());
+        assert_eq!(sharded.interactions(), seq.interactions());
+    }
+
+    #[test]
+    fn sharded_recovery_timestamps_faults_across_shards() {
+        let n = 24;
+        let mut sim = shard::ShardedSimulator::new(Decay(n), vec![0; n], 7, 4);
+        let mut plan = FaultPlan::new(1).once(500, corrupt_to(40, 6));
+        let mut rec = Recovery::new(|_: &Decay, s: &[u32]| s.iter().all(|&x| x == 0));
+        run_recovery_sharded(&mut sim, &mut plan, &mut rec, 100_000, 100);
+
+        let events = rec.events();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].injected_at, 500);
+        let t = events[0].recovery_interactions().expect("must recover");
+        assert!(t > 0 && t < 20_000, "decay from 40 is fast, got {t}");
+        assert!(sim.interactions() < 100_000, "early exit after recovery");
     }
 
     #[test]

@@ -1,0 +1,837 @@
+//! The sharded single-run simulator.
+
+use std::sync::{Barrier, Mutex};
+
+use population::observe::{Convergence, ShardObserver};
+use population::schedule::{Pair, SubSchedule, BLOCK_PAIRS};
+use population::{FaultHook, Observer, PairSource, Protocol, StopReason};
+
+use crate::partition::{bounds, rounds, OwnerMap};
+
+/// One shard's lane: a contiguous slice of the population plus the
+/// shard's private pair stream and outgoing boundary-pair buffers.
+#[derive(Debug)]
+struct Slot<S> {
+    /// Global index of the first agent in this lane.
+    start: usize,
+    /// The shard's slice of the configuration (`states[i - start]` is
+    /// agent `i`).
+    states: Vec<S>,
+    /// The shard's private sub-stream of the uniform scheduler.
+    sched: SubSchedule,
+    /// Boundary pairs drawn this block, bucketed by the responder's
+    /// shard; drained (in draw order) by the exchange phase.
+    outbox: Vec<Vec<Pair>>,
+}
+
+/// A multi-threaded, deterministic executor for a single run of a
+/// [`Protocol`], partitioning the configuration into per-shard lanes.
+///
+/// # Execution model
+///
+/// Agents `0..n` are split into `shards` contiguous, balanced lanes.
+/// Each shard owns its lane plus a private
+/// [`SubSchedule`] — a sub-stream of the uniform scheduler whose
+/// initiators lie in the lane and whose responders span the whole
+/// population (`SubSchedule::split` derives the per-shard seeds from
+/// the run seed). Time advances in **blocks**; each block distributes
+/// its interaction budget evenly over the shards and runs two phases:
+///
+/// 1. **Intra phase** — every shard draws its quota of pairs from its
+///    sub-stream. Pairs whose responder is local execute immediately,
+///    in draw order, lock-free on the owning worker (lanes are
+///    disjoint, so no other thread can touch either word). Pairs whose
+///    responder lives in another lane are *boundary pairs*: they are
+///    deferred into a per-peer outbox.
+/// 2. **Exchange phase** — boundary pairs execute in a fixed
+///    round-robin tournament over shard pairs
+///    ([`rounds`](crate::partition::rounds)): each round is a set of
+///    disjoint shard pairs, each match executed by one worker holding
+///    *both* lanes, applying first `a`'s deferred pairs to `b` and then
+///    `b`'s to `a`, each in draw order. Interactions therefore remain
+///    atomic pairwise state updates — population-protocol semantics are
+///    preserved; only the interleaving differs from a sequential run.
+///
+/// # Determinism
+///
+/// The trajectory is a pure function of `(seed, shards)` plus the block
+/// structure (the configured [`block_pairs`](Self::with_block_pairs)
+/// and the sequence of `run*` calls, which may split blocks at
+/// checkpoint and fault boundaries). It does **not** depend on the
+/// number of worker threads: workers only decide *who* executes a
+/// phase, never *what* or *in which order within a lane* — phases are
+/// separated by barriers and touch disjoint lanes, so
+/// `workers = 1` (fully inline, no threads) and any `workers > 1`
+/// produce bit-for-bit identical trajectories. Two identical calls are
+/// always identical.
+///
+/// # Equivalence at `shards = 1`
+///
+/// With a single shard every pair is intra-shard and the lone
+/// sub-schedule *is* the uniform [`Schedule`](population::Schedule)
+/// (same seed, bit-identical stream), so a 1-shard run is **bit-for-bit
+/// trajectory-equivalent** to
+/// [`Simulator::run_batched`](population::Simulator::run_batched) —
+/// property-tested in `tests/shard_equivalence.rs`. Sharded runs with
+/// `shards > 1` follow a different (equally valid) trajectory of the
+/// same balanced-uniform scheduler family.
+///
+/// # Observation and faults
+///
+/// [`run_observed`](Self::run_observed) polls a whole-configuration
+/// [`Observer`] on a concatenated snapshot (an `O(n)` copy per
+/// checkpoint); [`run_merged`](Self::run_merged) avoids the copy by
+/// evaluating a [`ShardObserver`] through per-shard summaries.
+/// [`run_faulted`](Self::run_faulted) splits blocks at exact fault
+/// interaction counts, exactly like the sequential engine, so
+/// `scenarios` fault plans drive sharded runs unchanged.
+#[derive(Debug)]
+pub struct ShardedSimulator<P: Protocol> {
+    protocol: P,
+    slots: Vec<Mutex<Slot<P::State>>>,
+    rounds: Vec<Vec<(usize, usize)>>,
+    owners: OwnerMap,
+    n: usize,
+    shards: usize,
+    workers: usize,
+    block_pairs: usize,
+    interactions: u64,
+}
+
+/// The share of a block's `total` interactions executed by shard `s`:
+/// an even split, with `total mod shards` shards taking one extra —
+/// starting from shard `rot` and wrapping, so the remainder *rotates*
+/// across blocks instead of always favoring the lowest-indexed shards.
+/// Without the rotation, repeated small bursts (e.g. `check_every <
+/// shards`) would hand every leftover interaction to shard 0 and starve
+/// the high shards' sub-schedules entirely. `rot` is derived from the
+/// interaction count at the block's start, so it is identical across
+/// the inline and threaded paths (determinism) and cycles through all
+/// shards under any fixed burst size not divisible by the shard count.
+#[inline]
+fn quota(total: u64, shards: usize, s: usize, rot: usize) -> u64 {
+    let idx = (s + shards - rot) % shards;
+    total / shards as u64 + u64::from((idx as u64) < total % shards as u64)
+}
+
+/// Intra phase for one shard: draw `quota` pairs from the shard's
+/// sub-stream; execute local pairs in draw order, defer boundary pairs
+/// into the outbox. Only this shard's lane is read or written.
+fn intra_phase<P: Protocol>(
+    protocol: &P,
+    owners: &OwnerMap,
+    slot: &Mutex<Slot<P::State>>,
+    quota: u64,
+) {
+    let mut guard = slot.lock().expect("shard lane poisoned");
+    let Slot {
+        start,
+        states,
+        sched,
+        outbox,
+    } = &mut *guard;
+    let (start, len) = (*start, states.len());
+    let mut remaining = quota;
+    while remaining > 0 {
+        let want = remaining.min(BLOCK_PAIRS as u64) as usize;
+        let block = sched.sample_block(want);
+        for &(i, j) in block {
+            let lj = (j as usize).wrapping_sub(start);
+            if lj < len {
+                // Local responder: execute in draw order
+                // (read–compute–writeback, like `run_batched`).
+                let li = i as usize - start;
+                let mut u = states[li].clone();
+                let mut v = states[lj].clone();
+                if protocol.transition(&mut u, &mut v) {
+                    states[li] = u;
+                    states[lj] = v;
+                }
+            } else {
+                outbox[owners.owner(j)].push((i, j));
+            }
+        }
+        remaining -= block.len() as u64;
+    }
+}
+
+/// One exchange match: with both lanes held, apply shard `a`'s deferred
+/// pairs into `b`, then `b`'s into `a`, each in draw order.
+fn exchange<P: Protocol>(
+    protocol: &P,
+    slot_a: &Mutex<Slot<P::State>>,
+    slot_b: &Mutex<Slot<P::State>>,
+    a: usize,
+    b: usize,
+) {
+    debug_assert!(a < b, "matches are normalized to (low, high)");
+    let mut ga = slot_a.lock().expect("shard lane poisoned");
+    let mut gb = slot_b.lock().expect("shard lane poisoned");
+    let sa = &mut *ga;
+    let sb = &mut *gb;
+    let Slot {
+        start: a_start,
+        states: a_states,
+        outbox: a_outbox,
+        ..
+    } = sa;
+    let Slot {
+        start: b_start,
+        states: b_states,
+        outbox: b_outbox,
+        ..
+    } = sb;
+    // Read–compute–writeback with the same null-interaction write skip
+    // as the batched engine: silent pairs dirty no cache lines.
+    for &(i, j) in &a_outbox[b] {
+        let (li, lj) = (i as usize - *a_start, j as usize - *b_start);
+        let mut u = a_states[li].clone();
+        let mut v = b_states[lj].clone();
+        if protocol.transition(&mut u, &mut v) {
+            a_states[li] = u;
+            b_states[lj] = v;
+        }
+    }
+    a_outbox[b].clear();
+    for &(i, j) in &b_outbox[a] {
+        let (li, lj) = (i as usize - *b_start, j as usize - *a_start);
+        let mut u = b_states[li].clone();
+        let mut v = a_states[lj].clone();
+        if protocol.transition(&mut u, &mut v) {
+            b_states[li] = u;
+            a_states[lj] = v;
+        }
+    }
+    b_outbox[a].clear();
+}
+
+impl<P: Protocol> ShardedSimulator<P> {
+    /// Create a sharded simulator over `initial` states, partitioned
+    /// into `shards` lanes, with the uniform scheduler split into
+    /// per-shard sub-streams derived from `seed`.
+    ///
+    /// Workers default to the machine's parallelism capped at the shard
+    /// count ([`population::runner::available_workers`], overridable
+    /// with `SSR_WORKERS`); see [`with_workers`](Self::with_workers).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `initial.len() != protocol.n()`, the population has
+    /// fewer than two agents or exceeds `u32::MAX`, or `shards` is not
+    /// in `1..=n`.
+    pub fn new(protocol: P, initial: Vec<P::State>, seed: u64, shards: usize) -> Self {
+        let n = initial.len();
+        assert_eq!(
+            n,
+            protocol.n(),
+            "initial configuration size must match protocol.n()"
+        );
+        assert!(n >= 2, "population needs at least two agents");
+        assert!(u32::try_from(n).is_ok(), "population size exceeds u32");
+        assert!(
+            (1..=n).contains(&shards),
+            "shard count must be within 1..=n"
+        );
+        let scheds = SubSchedule::split(n, seed, shards);
+        let mut initial = initial;
+        let mut lanes: Vec<Vec<P::State>> = Vec::with_capacity(shards);
+        for s in (0..shards).rev() {
+            let (start, _) = bounds(n, shards, s);
+            lanes.push(initial.split_off(start));
+        }
+        let slots = scheds
+            .into_iter()
+            .zip(lanes.into_iter().rev())
+            .map(|(sched, states)| {
+                let (start, end) = sched.range();
+                debug_assert_eq!(end - start, states.len());
+                Mutex::new(Slot {
+                    start,
+                    states,
+                    sched,
+                    outbox: vec![Vec::new(); shards],
+                })
+            })
+            .collect();
+        let workers = population::runner::available_workers().get().min(shards);
+        Self {
+            protocol,
+            slots,
+            rounds: rounds(shards),
+            owners: OwnerMap::new(n, shards),
+            n,
+            shards,
+            workers,
+            block_pairs: BLOCK_PAIRS,
+            interactions: 0,
+        }
+    }
+
+    /// Pin the number of worker threads (clamped to the shard count at
+    /// run time; `1` runs fully inline with no threads or barriers).
+    /// The trajectory never depends on this.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers == 0`.
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        assert!(workers >= 1, "at least one worker is required");
+        self.workers = workers;
+        self
+    }
+
+    /// Override the per-shard block size (pairs drawn by each shard per
+    /// block). Part of the determinism contract: changing it changes
+    /// the `shards > 1` trajectory (block boundaries move), so two runs
+    /// compare bit-for-bit only under the same block size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block_pairs == 0`.
+    pub fn with_block_pairs(mut self, block_pairs: usize) -> Self {
+        assert!(block_pairs >= 1, "blocks must hold at least one pair");
+        self.block_pairs = block_pairs;
+        self
+    }
+
+    /// The protocol being simulated.
+    pub fn protocol(&self) -> &P {
+        &self.protocol
+    }
+
+    /// Number of interactions executed so far.
+    pub fn interactions(&self) -> u64 {
+        self.interactions
+    }
+
+    /// Number of lanes the population is partitioned into.
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// Number of worker threads phases fan out over (after clamping).
+    pub fn workers(&self) -> usize {
+        self.workers.min(self.shards).max(1)
+    }
+
+    /// Snapshot of the full configuration, concatenated in agent-index
+    /// order (an `O(n)` copy — the price a partitioned representation
+    /// pays at whole-configuration boundaries).
+    pub fn states(&self) -> Vec<P::State> {
+        let mut out = Vec::with_capacity(self.n);
+        for slot in &self.slots {
+            out.extend_from_slice(&slot.lock().expect("shard lane poisoned").states);
+        }
+        out
+    }
+
+    /// Scatter a full configuration back into the lanes (the inverse of
+    /// [`states`](Self::states); used at fault boundaries).
+    fn scatter(&mut self, all: &[P::State]) {
+        debug_assert_eq!(all.len(), self.n);
+        for slot in &self.slots {
+            let mut guard = slot.lock().expect("shard lane poisoned");
+            let start = guard.start;
+            let end = start + guard.states.len();
+            guard.states.clone_from_slice(&all[start..end]);
+        }
+    }
+
+    /// Consume the simulator, returning the final configuration.
+    pub fn into_states(self) -> Vec<P::State> {
+        self.slots
+            .into_iter()
+            .flat_map(|m| m.into_inner().expect("shard lane poisoned").states)
+            .collect()
+    }
+}
+
+impl<P: Protocol + Sync> ShardedSimulator<P>
+where
+    P::State: Send,
+{
+    /// Execute exactly `count` interactions through the sharded block
+    /// loop (see the type-level docs for the execution model).
+    pub fn run(&mut self, count: u64) {
+        let workers = self.workers();
+        if workers <= 1 {
+            self.run_inline(count);
+        } else {
+            self.run_threaded(count, workers);
+        }
+        self.interactions += count;
+    }
+
+    /// The single-worker path: same blocks, same phases, same order —
+    /// executed on the calling thread with no synchronization at all.
+    fn run_inline(&mut self, count: u64) {
+        let cap = (self.shards * self.block_pairs) as u64;
+        let mut remaining = count;
+        while remaining > 0 {
+            let total = remaining.min(cap);
+            let rot = ((self.interactions + (count - remaining)) % self.shards as u64) as usize;
+            for s in 0..self.shards {
+                intra_phase(
+                    &self.protocol,
+                    &self.owners,
+                    &self.slots[s],
+                    quota(total, self.shards, s, rot),
+                );
+            }
+            for round in &self.rounds {
+                for &(a, b) in round {
+                    exchange(&self.protocol, &self.slots[a], &self.slots[b], a, b);
+                }
+            }
+            remaining -= total;
+        }
+    }
+
+    /// The multi-worker path: persistent scoped workers advance through
+    /// the same block sequence in lock step. Barriers separate the
+    /// phases; within a phase every worker touches only lanes it
+    /// exclusively owns (its shards in the intra phase, its matches'
+    /// lane pairs in an exchange round), so the trajectory is identical
+    /// to [`run_inline`](Self::run_inline) regardless of scheduling.
+    fn run_threaded(&mut self, count: u64, workers: usize) {
+        let cap = (self.shards * self.block_pairs) as u64;
+        let num_blocks = count.div_ceil(cap);
+        let barrier = Barrier::new(workers);
+        let base = self.interactions;
+        let (protocol, slots, rounds, owners, shards) = (
+            &self.protocol,
+            &self.slots,
+            &self.rounds,
+            &self.owners,
+            self.shards,
+        );
+        std::thread::scope(|scope| {
+            for w in 0..workers {
+                let barrier = &barrier;
+                scope.spawn(move || {
+                    for k in 0..num_blocks {
+                        let total = cap.min(count - k * cap);
+                        let rot = ((base + k * cap) % shards as u64) as usize;
+                        for s in (w..shards).step_by(workers) {
+                            intra_phase(protocol, owners, &slots[s], quota(total, shards, s, rot));
+                        }
+                        barrier.wait();
+                        for round in rounds {
+                            for (m, &(a, b)) in round.iter().enumerate() {
+                                if m % workers == w {
+                                    exchange(protocol, &slots[a], &slots[b], a, b);
+                                }
+                            }
+                            barrier.wait();
+                        }
+                    }
+                });
+            }
+        });
+    }
+
+    /// Drive the sharded run under a whole-configuration [`Observer`]:
+    /// polled once up front and then every `check_every` interactions
+    /// (each poll snapshots the configuration), until it stops the run
+    /// or the budget is exhausted. Checkpoint times match the
+    /// sequential engine's exactly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `check_every == 0`.
+    pub fn run_observed<O: Observer<P>>(
+        &mut self,
+        max_interactions: u64,
+        check_every: u64,
+        observer: &mut O,
+    ) -> StopReason {
+        assert!(check_every > 0, "check_every must be positive");
+        let snapshot = self.states();
+        if observer
+            .observe(&self.protocol, self.interactions, &snapshot)
+            .is_stop()
+        {
+            return StopReason::Converged(self.interactions);
+        }
+        let deadline = self.interactions + max_interactions;
+        while self.interactions < deadline {
+            let burst = check_every.min(deadline - self.interactions);
+            self.run(burst);
+            let snapshot = self.states();
+            if observer
+                .observe(&self.protocol, self.interactions, &snapshot)
+                .is_stop()
+            {
+                return StopReason::Converged(self.interactions);
+            }
+        }
+        StopReason::BudgetExhausted
+    }
+
+    /// Run until `converged` holds over a snapshot (polled every
+    /// `check_every` interactions) or the budget is exhausted — sugar
+    /// for [`run_observed`](Self::run_observed) with a [`Convergence`]
+    /// observer, mirroring
+    /// [`Simulator::run_until`](population::Simulator::run_until).
+    pub fn run_until(
+        &mut self,
+        converged: impl FnMut(&[P::State]) -> bool,
+        max_interactions: u64,
+        check_every: u64,
+    ) -> StopReason {
+        let mut observer = Convergence::new(converged);
+        self.run_observed(max_interactions, check_every, &mut observer)
+    }
+
+    /// Drive the sharded run under a [`ShardObserver`]: at every
+    /// checkpoint each lane is summarized in place (no concatenated
+    /// snapshot; lanes summarize in parallel on the worker pool) and
+    /// the summaries are merged into the global verdict.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `check_every == 0`.
+    pub fn run_merged<O: ShardObserver<P> + Sync>(
+        &mut self,
+        max_interactions: u64,
+        check_every: u64,
+        observer: &mut O,
+    ) -> StopReason {
+        assert!(check_every > 0, "check_every must be positive");
+        if self.merge_checkpoint(observer) {
+            return StopReason::Converged(self.interactions);
+        }
+        let deadline = self.interactions + max_interactions;
+        while self.interactions < deadline {
+            let burst = check_every.min(deadline - self.interactions);
+            self.run(burst);
+            if self.merge_checkpoint(observer) {
+                return StopReason::Converged(self.interactions);
+            }
+        }
+        StopReason::BudgetExhausted
+    }
+
+    /// Summarize every lane and merge; returns `true` on a stop
+    /// verdict. On large populations the lanes are summarized on
+    /// short-lived scoped worker threads (summaries are `Send`,
+    /// `summarize` takes `&self`), so a checkpoint costs one parallel
+    /// pass over the lanes rather than a serialized `O(n)` scan — the
+    /// point of the merge path. Small populations summarize inline:
+    /// below [`PARALLEL_SUMMARIZE_MIN_N`] the per-checkpoint thread
+    /// spawns would cost more than the scan they parallelize.
+    fn merge_checkpoint<O: ShardObserver<P> + Sync>(&self, observer: &mut O) -> bool {
+        /// Population size below which a summarize pass is cheaper than
+        /// spawning threads for it (a lane scan is ~µs work; a thread
+        /// spawn+join is ~tens of µs).
+        const PARALLEL_SUMMARIZE_MIN_N: usize = 1 << 17;
+        let workers = self.workers();
+        let summarize_shard = |s: usize| {
+            let guard = self.slots[s].lock().expect("shard lane poisoned");
+            observer.summarize(&self.protocol, guard.start, &guard.states)
+        };
+        let summaries: Vec<O::Summary> =
+            if workers <= 1 || self.shards <= 1 || self.n < PARALLEL_SUMMARIZE_MIN_N {
+                (0..self.shards).map(summarize_shard).collect()
+            } else {
+                let mut slots: Vec<Option<O::Summary>> = (0..self.shards).map(|_| None).collect();
+                std::thread::scope(|scope| {
+                    let handles: Vec<_> = (0..workers)
+                        .map(|w| {
+                            let summarize_shard = &summarize_shard;
+                            scope.spawn(move || {
+                                (w..self.shards)
+                                    .step_by(workers)
+                                    .map(|s| (s, summarize_shard(s)))
+                                    .collect::<Vec<_>>()
+                            })
+                        })
+                        .collect();
+                    for h in handles {
+                        for (s, summary) in h.join().expect("summarize worker panicked") {
+                            slots[s] = Some(summary);
+                        }
+                    }
+                });
+                slots
+                    .into_iter()
+                    .map(|s| s.expect("every lane summarized"))
+                    .collect()
+            };
+        observer
+            .merge(&self.protocol, self.interactions, summaries)
+            .is_stop()
+    }
+
+    /// Execute exactly `count` interactions, handing control to `hook`
+    /// at every interaction count where it asks to fire — the sharded
+    /// counterpart of
+    /// [`Simulator::run_faulted`](population::Simulator::run_faulted).
+    /// Blocks are split *exactly* at fire points (a fault scheduled at
+    /// `t` sees the configuration after exactly `t` interactions); the
+    /// hook receives the concatenated configuration and the lanes are
+    /// re-scattered afterwards, so `scenarios` fault plans (wrapped in
+    /// [`UnpackedHook`](population::UnpackedHook) for packed runs)
+    /// drive sharded runs unchanged.
+    pub fn run_faulted<H: FaultHook<P>>(&mut self, count: u64, hook: &mut H) {
+        let deadline = self.interactions + count;
+        loop {
+            while hook
+                .next_fire(self.interactions)
+                .is_some_and(|t| t <= self.interactions)
+            {
+                let mut all = self.states();
+                hook.fire(&self.protocol, self.interactions, &mut all);
+                self.scatter(&all);
+            }
+            if self.interactions >= deadline {
+                return;
+            }
+            let stop = match hook.next_fire(self.interactions) {
+                Some(t) if t < deadline => t,
+                _ => deadline,
+            };
+            let burst = stop - self.interactions;
+            self.run(burst);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use population::{NoFaults, Simulator};
+
+    /// Counts interactions on each side, like the engine's own test
+    /// protocol.
+    struct Count(usize);
+    impl Protocol for Count {
+        type State = (u64, u64);
+        fn n(&self) -> usize {
+            self.0
+        }
+        fn transition(&self, u: &mut Self::State, v: &mut Self::State) -> bool {
+            u.0 += 1;
+            v.1 += 1;
+            true
+        }
+    }
+
+    fn init(n: usize) -> Vec<(u64, u64)> {
+        vec![(0, 0); n]
+    }
+
+    #[test]
+    fn one_shard_is_bit_for_bit_run_batched() {
+        for count in [1u64, 5000, 12_345] {
+            let mut reference = Simulator::new(Count(16), init(16), 42);
+            reference.run_batched(count);
+            let mut sharded = ShardedSimulator::new(Count(16), init(16), 42, 1);
+            sharded.run(count);
+            assert_eq!(sharded.states(), reference.states(), "count={count}");
+            assert_eq!(sharded.interactions(), reference.interactions());
+        }
+    }
+
+    #[test]
+    fn sharded_runs_are_deterministic() {
+        for shards in [1, 2, 3, 4] {
+            let run = || {
+                let mut sim = ShardedSimulator::new(Count(20), init(20), 7, shards);
+                sim.run(30_000);
+                sim.into_states()
+            };
+            assert_eq!(run(), run(), "shards={shards}");
+        }
+    }
+
+    #[test]
+    fn trajectory_is_independent_of_worker_count() {
+        for shards in [2, 4, 5] {
+            let run = |workers| {
+                let mut sim =
+                    ShardedSimulator::new(Count(24), init(24), 3, shards).with_workers(workers);
+                sim.run(25_000);
+                sim.into_states()
+            };
+            let inline = run(1);
+            assert_eq!(inline, run(2), "shards={shards} workers=2");
+            assert_eq!(inline, run(3), "shards={shards} workers=3");
+            assert_eq!(inline, run(8), "shards={shards} workers=8 (clamped)");
+        }
+    }
+
+    #[test]
+    fn every_interaction_is_executed_exactly_once() {
+        // The initiator-side counters sum to the interaction count even
+        // across boundary pairs and odd block splits.
+        for shards in [1, 2, 3, 4, 7] {
+            let mut sim = ShardedSimulator::new(Count(21), init(21), 5, shards)
+                .with_block_pairs(97)
+                .with_workers(2);
+            sim.run(10_001);
+            let total: u64 = sim.states().iter().map(|s| s.0).sum();
+            assert_eq!(total, 10_001, "shards={shards}");
+            assert_eq!(sim.interactions(), 10_001);
+        }
+    }
+
+    #[test]
+    fn tiny_bursts_do_not_starve_high_shards() {
+        // Regression: without remainder rotation, bursts smaller than
+        // the shard count hand every interaction to shard 0 and the
+        // other shards' sub-schedules never draw. 400 bursts of 1 over
+        // 4 shards must leave initiations in every shard's range.
+        let mut sim = ShardedSimulator::new(Count(16), init(16), 11, 4);
+        for _ in 0..400 {
+            sim.run(1);
+        }
+        let states = sim.states();
+        for s in 0..4 {
+            let initiated: u64 = states[s * 4..(s + 1) * 4].iter().map(|x| x.0).sum();
+            assert!(initiated > 0, "shard {s} never initiated");
+        }
+        assert_eq!(states.iter().map(|x| x.0).sum::<u64>(), 400);
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let run = |seed| {
+            let mut sim = ShardedSimulator::new(Count(16), init(16), seed, 4);
+            sim.run(10_000);
+            sim.into_states()
+        };
+        assert_ne!(run(1), run(2));
+    }
+
+    #[test]
+    fn run_observed_checkpoints_match_sequential_times() {
+        let mut sim = ShardedSimulator::new(Count(16), init(16), 5, 4);
+        let mut times = Vec::new();
+        let mut sampler = population::observe::Sampler::new(|t, _: &[(u64, u64)]| times.push(t));
+        let stop = sim.run_observed(500, 150, &mut sampler);
+        assert_eq!(stop, StopReason::BudgetExhausted);
+        assert_eq!(times, vec![0, 150, 300, 450, 500]);
+    }
+
+    #[test]
+    fn run_until_stops_on_convergence() {
+        let mut sim = ShardedSimulator::new(Count(16), init(16), 5, 4);
+        let stop = sim.run_until(|s| s.iter().map(|x| x.0).sum::<u64>() >= 77, 10_000, 50);
+        let t = stop.converged_at().expect("must converge");
+        assert!((77..77 + 50).contains(&t), "t = {t}");
+    }
+
+    #[test]
+    fn run_faulted_with_no_faults_equals_run() {
+        let mut plain = ShardedSimulator::new(Count(16), init(16), 9, 3);
+        let mut faulted = ShardedSimulator::new(Count(16), init(16), 9, 3);
+        plain.run(12_345);
+        faulted.run_faulted(12_345, &mut NoFaults);
+        assert_eq!(plain.states(), faulted.states());
+        assert_eq!(plain.interactions(), faulted.interactions());
+    }
+
+    /// A hook that zeroes every counter at a fixed list of times.
+    struct ZeroAt {
+        times: Vec<u64>,
+        fired: Vec<u64>,
+    }
+
+    impl FaultHook<Count> for ZeroAt {
+        fn next_fire(&mut self, now: u64) -> Option<u64> {
+            self.times.iter().copied().find(|&t| t >= now)
+        }
+
+        fn fire(&mut self, _p: &Count, t: u64, states: &mut [(u64, u64)]) {
+            states.iter_mut().for_each(|s| *s = (0, 0));
+            self.fired.push(t);
+            self.times.retain(|&x| x > t);
+        }
+    }
+
+    #[test]
+    fn faults_fire_at_exact_interaction_counts() {
+        let mut sim = ShardedSimulator::new(Count(16), init(16), 4, 4);
+        let mut hook = ZeroAt {
+            times: vec![0, 100, 250, 1000],
+            fired: Vec::new(),
+        };
+        sim.run_faulted(1000, &mut hook);
+        assert_eq!(hook.fired, vec![0, 100, 250, 1000]);
+        assert_eq!(sim.interactions(), 1000);
+        assert!(sim.states().iter().all(|&s| s == (0, 0)));
+        // Interaction counting restarts after the mid-run zeroing: a
+        // second faulted run totals only post-fault interactions.
+        let mut sim = ShardedSimulator::new(Count(16), init(16), 4, 4);
+        let mut hook = ZeroAt {
+            times: vec![400],
+            fired: Vec::new(),
+        };
+        sim.run_faulted(1000, &mut hook);
+        let total: u64 = sim.states().iter().map(|s| s.0).sum();
+        assert_eq!(total, 600);
+    }
+
+    #[test]
+    fn run_merged_agrees_with_run_observed() {
+        // ShardedSilence over a protocol that goes quiet: all counters
+        // saturate at 3.
+        struct Saturate(usize);
+        impl Protocol for Saturate {
+            type State = u8;
+            fn n(&self) -> usize {
+                self.0
+            }
+            fn transition(&self, u: &mut u8, _v: &mut u8) -> bool {
+                if *u < 3 {
+                    *u += 1;
+                    return true;
+                }
+                false
+            }
+        }
+        let mut sharded = ShardedSimulator::new(Saturate(12), vec![0; 12], 3, 3);
+        let mut merged = population::ShardedSilence::new();
+        let stop = sharded.run_merged(100_000, 24, &mut merged);
+        let t_merged = stop.converged_at().expect("must go silent");
+        assert_eq!(merged.silent_at(), Some(t_merged));
+        // The parallel summarize path (workers > 1, n above the spawn
+        // threshold) must see the same checkpoint verdicts as the
+        // inline one.
+        let big = 1 << 17;
+        let run_big = |workers: usize| {
+            let mut sim =
+                ShardedSimulator::new(Saturate(big), vec![0; big], 3, 4).with_workers(workers);
+            let mut merged = population::ShardedSilence::new();
+            let stop = sim.run_merged(10_000_000, 500_000, &mut merged);
+            stop.converged_at()
+        };
+        let t_inline = run_big(1).expect("inline run must go silent");
+        assert_eq!(run_big(3), Some(t_inline), "parallel summarize diverged");
+        // The merged verdict matches a whole-configuration Silence
+        // observer replayed over the same sharded trajectory.
+        let mut replay = ShardedSimulator::new(Saturate(12), vec![0; 12], 3, 3);
+        let mut whole = population::observe::Silence::new();
+        let stop_whole = replay.run_observed(100_000, 24, &mut whole);
+        assert_eq!(stop_whole.converged_at(), Some(t_merged));
+    }
+
+    #[test]
+    #[should_panic(expected = "shard count must be within")]
+    fn rejects_zero_shards() {
+        let _ = ShardedSimulator::new(Count(8), init(8), 0, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "shard count must be within")]
+    fn rejects_more_shards_than_agents() {
+        let _ = ShardedSimulator::new(Count(8), init(8), 0, 9);
+    }
+
+    #[test]
+    #[should_panic(expected = "must match protocol.n()")]
+    fn rejects_mismatched_initial_configuration() {
+        let _ = ShardedSimulator::new(Count(8), init(5), 0, 2);
+    }
+}

@@ -1,0 +1,107 @@
+//! Sharded parallel simulation: a multi-threaded **single-run** engine
+//! over partitioned state lanes.
+//!
+//! The `population` engine executes one run on one core; its `runner`
+//! parallelizes across *seeds*. This crate parallelizes *within* a run:
+//! the configuration is partitioned into per-shard lanes (for packed
+//! protocols, contiguous stretches of the flat word vector), each shard
+//! draws pairs from its own [`SubSchedule`](population::SubSchedule)
+//! sub-stream of the uniform scheduler, and cross-shard interactions
+//! are resolved through a boundary-pair exchange protocol — see
+//! [`ShardedSimulator`] for the execution model, determinism contract,
+//! and the `shards = 1 ≡ run_batched` equivalence.
+//!
+//! The engine plugs into every existing seam:
+//!
+//! * **state** — any [`Protocol`](population::Protocol) whose value is
+//!   `Sync` (wrap a [`PackedProtocol`](population::PackedProtocol) in
+//!   [`Packed`](population::Packed) to run over flat words);
+//! * **observation** — whole-configuration
+//!   [`Observer`](population::Observer)s via snapshots
+//!   ([`ShardedSimulator::run_observed`]) or copy-free per-shard
+//!   summaries via [`ShardObserver`](population::ShardObserver)
+//!   ([`ShardedSimulator::run_merged`]);
+//! * **faults** — [`FaultHook`](population::FaultHook)s fire at exact
+//!   interaction counts ([`ShardedSimulator::run_faulted`]), so the
+//!   `scenarios` crate's fault plans drive sharded runs unchanged.
+//!
+//! # Example
+//!
+//! ```
+//! use population::Protocol;
+//! use shard::ShardedSimulator;
+//!
+//! struct Max;
+//! impl Protocol for Max {
+//!     type State = u32;
+//!     fn n(&self) -> usize {
+//!         64
+//!     }
+//!     fn transition(&self, u: &mut u32, v: &mut u32) -> bool {
+//!         let m = (*u).max(*v);
+//!         let changed = *u != m || *v != m;
+//!         *u = m;
+//!         *v = m;
+//!         changed
+//!     }
+//! }
+//!
+//! let mut sim = ShardedSimulator::new(Max, (0..64).collect(), 1, 4);
+//! sim.run(100_000);
+//! assert!(sim.states().iter().all(|&s| s == 63));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod engine;
+pub mod partition;
+
+pub use engine::ShardedSimulator;
+
+use std::num::NonZeroUsize;
+
+/// Default shard count for sharded runs.
+///
+/// Reads the `SSR_SHARDS` environment variable (any positive integer;
+/// invalid or zero values are ignored), mirroring the `SSR_WORKERS`
+/// override of [`population::runner::available_workers`] — so CI and
+/// benchmarks can pin the partition deterministically without touching
+/// call sites. Falls back to the machine parallelism (which
+/// `SSR_WORKERS` in turn overrides).
+pub fn default_shards() -> NonZeroUsize {
+    std::env::var("SSR_SHARDS")
+        .ok()
+        .as_deref()
+        .and_then(parse_shards)
+        .unwrap_or_else(population::runner::available_workers)
+}
+
+/// Parse an `SSR_SHARDS` value: any positive integer; anything else
+/// (including `0`) is ignored. Factored out of [`default_shards`] so
+/// the parsing rules are testable without mutating the process
+/// environment (`setenv` racing concurrent `getenv` from other test
+/// threads is undefined behavior on glibc); the env plumbing itself is
+/// exercised end to end by the CI shard smoke step (`SSR_SHARDS=4`).
+fn parse_shards(value: &str) -> Option<NonZeroUsize> {
+    value
+        .trim()
+        .parse::<usize>()
+        .ok()
+        .and_then(NonZeroUsize::new)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ssr_shards_values_parse_like_ssr_workers() {
+        assert_eq!(parse_shards("3").map(NonZeroUsize::get), Some(3));
+        assert_eq!(parse_shards(" 16 ").map(NonZeroUsize::get), Some(16));
+        assert_eq!(parse_shards("0"), None); // invalid: ignored
+        assert_eq!(parse_shards("many"), None); // invalid: ignored
+        assert_eq!(parse_shards(""), None);
+        assert!(default_shards().get() >= 1);
+    }
+}

@@ -16,6 +16,8 @@
 //! * [`scenarios`] — fault injection, adversarial schedulers, and
 //!   recovery-time measurement (sustained-fault workloads on top of the
 //!   engine).
+//! * [`shard`] — the sharded multi-threaded single-run simulator
+//!   (per-shard sub-schedules + boundary-pair exchange).
 //! * [`analysis`] — statistics and tail-bound helpers used by experiments.
 //!
 //! # Quickstart
@@ -39,3 +41,4 @@ pub use leader_election;
 pub use population;
 pub use ranking;
 pub use scenarios;
+pub use shard;

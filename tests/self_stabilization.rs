@@ -173,31 +173,27 @@ fn recovers_when_phase_counters_exceed_reasonable_values() {
     assert!(stabilizes(n, init, 41));
 }
 
-/// Executable anchor for the ROADMAP-noted `n = 2` non-stabilization
-/// (discovered while verifying PR 2: 10/10 seeds exhaust a 10M budget
-/// from adversarial starts, while `n = 3` is fine).
+/// Regression anchor for the `n = 2` non-stabilization discovered while
+/// verifying PR 2 (10/10 seeds exhausted a 10M budget from adversarial
+/// starts, while `n = 3` was fine).
 ///
-/// Suspected mechanism — the `L_max = 2(⌈log n⌉+1)` viability bound of
-/// Protocol 5 line 9 is *exactly* tight at `n = 2` (`L_max = 4 =
-/// 2(⌈log 2⌉+1)`), and worse, the win condition looks structurally
-/// unsatisfiable: a lottery winner must observe `⌈log 2⌉+1 = 2` heads
-/// at its first two activations (any later and `LECount < L_max/2`
-/// blocks the transition to the main phase). But with a single partner,
-/// the responder's synthetic coin toggles on *every* response (Protocol
-/// 3 lines 9–10), so one agent's successive observations of the other's
-/// coin strictly alternate heads/tails — two consecutive heads never
-/// happen, no leader is ever elected, and the population livelocks in
-/// elect → timeout → reset cycles forever. If that analysis holds, no
-/// interaction budget fixes `n = 2` under the paper-default parameters;
-/// the fix would need an `n = 2` special case (e.g. a deterministic
-/// two-agent election) rather than a larger `c_live`.
+/// The mechanism, confirmed by PR 3's analysis: a lottery winner must
+/// observe `⌈log 2⌉+1 = 2` heads at its first two activations (any later
+/// and `LECount < L_max/2` blocks the transition to the main phase), but
+/// with a single partner the responder's synthetic coin toggles on
+/// *every* response (Protocol 3 lines 9–10), so one agent's successive
+/// observations strictly alternate heads/tails — two consecutive heads
+/// never happen, no leader is ever elected, and the population livelocks
+/// in elect → timeout → reset cycles forever. No interaction budget
+/// fixes that.
 ///
-/// Kept `#[ignore]`d so the suite stays green while the bug exists;
-/// run `cargo test -- --ignored n_equals_two` to reproduce (expected:
-/// FAILS until the boundary case is fixed — this test asserts the
-/// behavior Theorem 2 promises).
+/// The fix is the deterministic two-agent election in
+/// `StableRanking::transition`: at `n = 2` the initiator of the first
+/// elect–elect meeting becomes the waiting leader outright (anonymity
+/// buys nothing against a single possible partner), and the main
+/// protocol takes over from there. This test pins Theorem 2's promise
+/// at the boundary size.
 #[test]
-#[ignore = "known failure: n = 2 never stabilizes (FastLE cannot elect with a single alternating-coin partner); see ROADMAP"]
 fn n_equals_two_stabilizes_from_adversarial_starts() {
     for seed in 0..3u64 {
         let protocol = StableRanking::new(Params::new(2));

@@ -1,0 +1,300 @@
+//! The sharded engine's contracts, property-tested over the paper's
+//! protocol:
+//!
+//! 1. **`shards = 1` ≡ `run_batched`** — a one-shard sharded run is
+//!    bit-for-bit trajectory-equivalent to the sequential batched
+//!    engine, over both the structured enum states and the packed
+//!    words, including under fault injection.
+//! 2. **Determinism** — for a fixed `(seed, n_shards)` two sharded runs
+//!    are identical, and the trajectory never depends on the worker
+//!    thread count.
+//! 3. **Observer merging** — shard-local `ShardedRanking` /
+//!    `ShardedSilence` summaries merged per block agree with the
+//!    whole-configuration `Convergence` / `Silence` observers on the
+//!    same trajectory.
+//! 4. **Semantics** — sharded runs still stabilize: Theorem 2 holds on
+//!    the sharded scheduler family, and `scenarios` fault plans drive
+//!    sharded runs to recovery.
+
+use proptest::prelude::*;
+
+use silent_ranking::population::observe::{Convergence, Silence, Unpacked};
+use silent_ranking::population::silence::is_silent;
+use silent_ranking::population::{is_valid_ranking, Packed, Simulator, UnpackedHook};
+use silent_ranking::ranking::stable::{PackedState, StableRanking};
+use silent_ranking::ranking::Params;
+use silent_ranking::scenarios::{ranking_faults, FaultPlan};
+use silent_ranking::shard::ShardedSimulator;
+
+fn packed_protocol(n: usize) -> Packed<StableRanking> {
+    Packed(StableRanking::new(Params::new(n)))
+}
+
+fn packed_init(protocol: &Packed<StableRanking>, seed: u64) -> Vec<PackedState> {
+    protocol.pack_all(&protocol.inner().adversarial_uniform(seed))
+}
+
+#[test]
+fn one_shard_packed_run_is_bit_for_bit_run_batched() {
+    for (n, count, seed) in [(16, 40_000u64, 1u64), (33, 12_345, 7), (64, 100_000, 42)] {
+        let mut reference = Simulator::new(
+            packed_protocol(n),
+            packed_init(&packed_protocol(n), seed),
+            seed,
+        );
+        reference.run_batched(count);
+
+        let mut sharded = ShardedSimulator::new(
+            packed_protocol(n),
+            packed_init(&packed_protocol(n), seed),
+            seed,
+            1,
+        );
+        sharded.run(count);
+
+        assert_eq!(
+            sharded.states(),
+            reference.states(),
+            "n={n} count={count} seed={seed}"
+        );
+        assert_eq!(sharded.interactions(), reference.interactions());
+    }
+}
+
+#[test]
+fn one_shard_enum_run_is_bit_for_bit_run_batched() {
+    let n = 24;
+    let protocol = StableRanking::new(Params::new(n));
+    let init = protocol.adversarial_uniform(3);
+    let mut reference = Simulator::new(protocol.clone(), init.clone(), 9);
+    reference.run_batched(30_000);
+
+    let mut sharded = ShardedSimulator::new(protocol, init, 9, 1);
+    sharded.run(30_000);
+    assert_eq!(sharded.states(), reference.states());
+}
+
+#[test]
+fn one_shard_faulted_run_matches_sequential_faulted_run() {
+    // Fault plans fire at exact interaction counts in both engines, so
+    // at shards = 1 the full faulted trajectory must coincide.
+    let n = 20;
+    for kind in ranking_faults::KINDS {
+        let make_plan = || {
+            let p = StableRanking::new(Params::new(n));
+            FaultPlan::new(77).periodic(500, 4000, ranking_faults::standard(kind, &p, n))
+        };
+        let seed = 13;
+
+        let mut seq = Simulator::new(
+            packed_protocol(n),
+            packed_init(&packed_protocol(n), seed),
+            seed,
+        );
+        let mut seq_hook = UnpackedHook::new(make_plan());
+        seq.run_faulted(15_000, &mut seq_hook);
+
+        let mut sharded = ShardedSimulator::new(
+            packed_protocol(n),
+            packed_init(&packed_protocol(n), seed),
+            seed,
+            1,
+        );
+        let mut sh_hook = UnpackedHook::new(make_plan());
+        sharded.run_faulted(15_000, &mut sh_hook);
+
+        assert_eq!(sharded.states(), seq.states(), "injector {kind}");
+        assert_eq!(
+            sh_hook.inner().fired(),
+            seq_hook.inner().fired(),
+            "injector {kind}: firing logs diverged"
+        );
+    }
+}
+
+#[test]
+fn sharded_trajectories_are_deterministic_and_worker_independent() {
+    let n = 48;
+    for shards in [2, 3, 4, 7] {
+        let run = |workers: usize| {
+            let protocol = packed_protocol(n);
+            let init = packed_init(&protocol, 5);
+            let mut sim = ShardedSimulator::new(protocol, init, 21, shards).with_workers(workers);
+            sim.run(60_000);
+            sim.into_states()
+        };
+        let first = run(1);
+        assert_eq!(first, run(1), "shards={shards}: reruns must be identical");
+        assert_eq!(first, run(4), "shards={shards}: workers must not matter");
+    }
+}
+
+#[test]
+fn sharded_run_stabilizes_to_a_valid_silent_ranking() {
+    // Theorem 2 on the sharded scheduler family: adversarial starts
+    // still reach a valid, silent ranking (packed words, 4 shards).
+    let n = 24;
+    let budget = (8000.0 * (n * n) as f64 * (n as f64).log2()) as u64;
+    for seed in 0..4u64 {
+        let protocol = packed_protocol(n);
+        let init = packed_init(&protocol, seed + 50);
+        let mut sim = ShardedSimulator::new(protocol, init, seed, 4);
+        let stop = sim.run_until(is_valid_ranking, budget, n as u64);
+        assert!(
+            stop.converged_at().is_some(),
+            "seed {seed}: sharded run did not stabilize"
+        );
+        let words = sim.states();
+        let protocol = packed_protocol(n);
+        assert!(
+            is_silent(&protocol, &words),
+            "seed {seed}: valid but not silent"
+        );
+    }
+}
+
+#[test]
+fn sharded_faulted_run_recovers() {
+    // scenarios injectors drive a 3-shard packed run: corrupt a quarter
+    // of the population mid-run, then re-stabilize.
+    let n = 24;
+    let seed = 2;
+    let protocol = packed_protocol(n);
+    let legal = protocol.pack_all(&protocol.inner().legal());
+    let plan_protocol = StableRanking::new(Params::new(n));
+    let mut plan = UnpackedHook::new(
+        FaultPlan::new(9).once(1_000, ranking_faults::corrupt(&plan_protocol, n / 4)),
+    );
+    let mut sim = ShardedSimulator::new(protocol, legal, seed, 3);
+    sim.run_faulted(1_000, &mut plan);
+    assert!(
+        !is_valid_ranking(&sim.states()),
+        "corruption must break the ranking"
+    );
+    let budget = (8000.0 * (n * n) as f64 * (n as f64).log2()) as u64;
+    let stop = sim.run_until(is_valid_ranking, budget, n as u64);
+    assert!(stop.converged_at().is_some(), "no recovery after the fault");
+}
+
+#[test]
+fn merged_observers_agree_with_whole_configuration_observers() {
+    // The satellite contract: shard-local Convergence/Silence summaries
+    // merged per block agree with the single-threaded observers on the
+    // same trajectory — same stop verdicts at the same checkpoints.
+    let n = 16;
+    let budget = (8000.0 * (n * n) as f64 * (n as f64).log2()) as u64;
+    for (seed, shards) in [(1u64, 2usize), (2, 3), (3, 4)] {
+        // Merged ranking detector on a sharded run…
+        let protocol = packed_protocol(n);
+        let init = packed_init(&protocol, seed + 10);
+        let mut sim = ShardedSimulator::new(protocol, init, seed, shards);
+        let mut merged = silent_ranking::population::ShardedRanking::new();
+        let t_merged = sim
+            .run_merged(budget, n as u64, &mut merged)
+            .converged_at()
+            .expect("merged detector must converge");
+        assert_eq!(merged.converged_at(), Some(t_merged));
+
+        // …must stop exactly where the whole-configuration Convergence
+        // observer stops on the identical trajectory.
+        let protocol = packed_protocol(n);
+        let init = packed_init(&protocol, seed + 10);
+        let mut replay = ShardedSimulator::new(protocol, init, seed, shards);
+        let mut whole = Convergence::new(is_valid_ranking::<PackedState>);
+        let t_whole = replay
+            .run_observed(budget, n as u64, &mut whole)
+            .converged_at()
+            .expect("whole-configuration observer must converge");
+        assert_eq!(
+            t_merged, t_whole,
+            "seed={seed} shards={shards}: merged and whole verdicts diverged"
+        );
+
+        // Silence likewise (a valid ranking is silent by closure, so
+        // both detectors fire at the same checkpoint).
+        let protocol = packed_protocol(n);
+        let init = packed_init(&protocol, seed + 10);
+        let mut sim = ShardedSimulator::new(protocol, init, seed, shards);
+        let mut merged_silence = silent_ranking::population::ShardedSilence::new();
+        let t_silence = sim
+            .run_merged(budget, n as u64, &mut merged_silence)
+            .converged_at()
+            .expect("merged silence must trigger");
+        let protocol = packed_protocol(n);
+        let init = packed_init(&protocol, seed + 10);
+        let mut replay = ShardedSimulator::new(protocol, init, seed, shards);
+        let mut whole_silence = Unpacked::new(Silence::new());
+        let t_whole_silence = replay
+            .run_observed(budget, n as u64, &mut whole_silence)
+            .converged_at()
+            .expect("whole silence must trigger");
+        assert_eq!(
+            t_silence, t_whole_silence,
+            "seed={seed} shards={shards}: silence verdicts diverged"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 8,
+        .. ProptestConfig::default()
+    })]
+
+    /// The headline property: for random population sizes, seeds, and
+    /// burst decompositions, a one-shard sharded run is bit-for-bit the
+    /// sequential batched trajectory (packed words).
+    #[test]
+    fn one_shard_equals_run_batched(
+        n in 8usize..40,
+        seed in 0u64..10_000,
+        a in 1u64..5_000,
+        b in 1u64..5_000,
+        c in 1u64..5_000,
+    ) {
+        let bursts = [a, b, c];
+        let mut reference = Simulator::new(
+            packed_protocol(n),
+            packed_init(&packed_protocol(n), seed ^ 0xBEEF),
+            seed,
+        );
+        let mut sharded = ShardedSimulator::new(
+            packed_protocol(n),
+            packed_init(&packed_protocol(n), seed ^ 0xBEEF),
+            seed,
+            1,
+        );
+        for &burst in &bursts {
+            reference.run_batched(burst);
+            sharded.run(burst);
+            prop_assert_eq!(sharded.states(), reference.states().to_vec());
+        }
+        prop_assert_eq!(sharded.interactions(), reference.interactions());
+    }
+
+    /// Random shard counts: the trajectory is a pure function of
+    /// `(seed, shards)` — independent of worker count and rerun-stable —
+    /// and executes exactly the requested number of interactions.
+    #[test]
+    fn sharded_runs_are_reproducible(
+        n in 8usize..40,
+        shards in 1usize..6,
+        seed in 0u64..10_000,
+        count in 1u64..40_000,
+    ) {
+        let shards = shards.min(n);
+        let run = |workers: usize| {
+            let protocol = packed_protocol(n);
+            let init = packed_init(&protocol, seed);
+            let mut sim = ShardedSimulator::new(protocol, init, seed, shards)
+                .with_workers(workers);
+            sim.run(count);
+            (sim.interactions(), sim.into_states())
+        };
+        let (t1, s1) = run(1);
+        let (t2, s2) = run(3);
+        prop_assert_eq!(t1, count);
+        prop_assert_eq!(t2, count);
+        prop_assert_eq!(s1, s2);
+    }
+}
