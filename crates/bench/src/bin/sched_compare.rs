@@ -30,6 +30,21 @@
 //! row reports `stabilized/runs` so the failure mode is visible, with
 //! the fractional crossings showing how far each run got.
 //!
+//! **Round-robin verdict (PR 4 open question, resolved):** the
+//! non-stabilization is a *true deterministic livelock*, not merely
+//! ≫ budget. With the scheduler derandomized the whole trajectory is
+//! deterministic, hence eventually periodic;
+//! `population::modelcheck::trace_cycle` proves that from the clean
+//! start it enters a periodic orbit that never contains a valid
+//! ranking at `n = 3, 4, 5` (at `n = 3` the orbit is entered after 72
+//! interactions with period 54 — no budget helps). Pinned by
+//! `round_robin_is_a_true_deterministic_livelock_at_tiny_n` in
+//! `tests/model_checking.rs`, alongside the counterexamples (`n = 2`,
+//! the `n = 6` clean start, and the `n = 4` all-same-rank start *do*
+//! stabilize deterministically): without scheduler entropy,
+//! stabilization degenerates from a guarantee into an accident of
+//! `(n, initialization)`.
+//!
 //! Writes `BENCH_sched.json` (override with `out=`).
 //!
 //! Usage: `cargo run --release -p bench --bin sched_compare --

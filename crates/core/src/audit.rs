@@ -7,13 +7,19 @@
 //!
 //! * [`stable_state_bound`] computes the analytic size of the implemented
 //!   state space from the parameters (exact products, not asymptotics);
+//! * [`enumerate_states`] materializes the state space itself — every
+//!   state [`StableState::is_valid_for`] admits — for exhaustive
+//!   consumers (the model checker's branching adversaries, audits);
 //! * [`StateAudit`] records every distinct state observed during a run
 //!   (via the injective [`StableState::encode`]) so tests can assert
 //!   `observed ⊆ analytic` and experiments can report real usage.
 
 use std::collections::HashSet;
 
+use leader_election::fast::FastLeState;
+
 use crate::params::Params;
+use crate::stable::state::{MainKind, UnRole, UnState};
 use crate::stable::StableState;
 
 /// Breakdown of the analytic state-space size of `STABLERANKING`.
@@ -62,6 +68,60 @@ pub fn stable_state_bound(params: &Params) -> StateBudget {
         elect_states: 2 * l * ct * 4,
         main_states: 2 * l * (wait + kmax),
     }
+}
+
+/// Every state of `STABLERANKING`'s declared state space for `params` —
+/// exactly the states [`StableState::is_valid_for`] accepts, including
+/// the tolerated adversarial corner cases (e.g. a lone `isLeader`
+/// flag).
+///
+/// The list is the concrete counterpart of [`stable_state_bound`]'s
+/// arithmetic and the *branching universe* of a maximally adversarial
+/// Byzantine agent in the model checker (the `scenarios` crate's
+/// `Recorrupt` strategy branches over all of it). The size is
+/// `n + O(log² n)`, so materializing it is cheap at any practical `n`.
+pub fn enumerate_states(params: &Params) -> Vec<StableState> {
+    let mut states: Vec<StableState> = (1..=params.n() as u64).map(StableState::Ranked).collect();
+    for coin in [false, true] {
+        let mut push = |role| states.push(StableState::Un(UnState { coin, role }));
+        for reset_count in 0..=params.r_max() {
+            for delay_count in 0..=params.d_max() {
+                push(UnRole::Reset {
+                    reset_count,
+                    delay_count,
+                });
+            }
+        }
+        for le_count in 0..=params.l_max() {
+            for coin_count in 0..=params.coin_target() {
+                for (leader_done, is_leader) in
+                    [(false, false), (false, true), (true, false), (true, true)]
+                {
+                    push(UnRole::Elect(FastLeState {
+                        le_count,
+                        coin_count,
+                        leader_done,
+                        is_leader,
+                    }));
+                }
+            }
+        }
+        for alive in 0..=params.l_max() {
+            for w in 1..=params.wait_max() {
+                push(UnRole::Main {
+                    alive,
+                    kind: MainKind::Waiting(w),
+                });
+            }
+            for k in 1..=params.coin_target() {
+                push(UnRole::Main {
+                    alive,
+                    kind: MainKind::Phase(k),
+                });
+            }
+        }
+    }
+    states
 }
 
 /// Records the set of distinct states seen over a run.
@@ -185,6 +245,22 @@ mod tests {
             audit.distinct_overhead(),
             budget.overhead()
         );
+    }
+
+    #[test]
+    fn enumerate_states_matches_the_analytic_budget_exactly() {
+        for n in [3usize, 8, 64] {
+            let params = Params::new(n);
+            let states = enumerate_states(&params);
+            // Size: exactly the analytic bound, when kmax == coin_target
+            // (both are ⌈log₂ n⌉; the budget counts phases via kmax).
+            assert_eq!(params.fseq().kmax(), params.coin_target());
+            assert_eq!(states.len() as u64, stable_state_bound(&params).total());
+            // Validity: exactly the declared state space, no duplicates.
+            assert!(states.iter().all(|s| s.is_valid_for(&params)));
+            let codes: HashSet<u64> = states.iter().map(|s| s.encode(&params)).collect();
+            assert_eq!(codes.len(), states.len(), "enumeration repeated a state");
+        }
     }
 
     #[test]

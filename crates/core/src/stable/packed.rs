@@ -187,6 +187,21 @@ impl PackedState {
         self.0 ^= COIN_BIT;
     }
 
+    /// Force the synthetic coin to `value` if the word is unranked; a
+    /// no-op on ranked words (which store nothing but their rank).
+    ///
+    /// This is the packed-path access a word-level adversary needs: the
+    /// `scenarios` crate's `CoinJammer` strategy pins its coin after
+    /// every touch, overriding the responder-toggle of Protocol 3
+    /// lines 9–10 — on packed runs it does so directly on the word,
+    /// without a codec round-trip.
+    #[inline]
+    pub fn set_coin(&mut self, value: bool) {
+        if self.0 & TAG_MASK != 0 {
+            self.0 = (self.0 & !COIN_BIT) | if value { COIN_BIT } else { 0 };
+        }
+    }
+
     /// Pack a structured state (lossless; see the module docs for the
     /// layout).
     #[inline]
@@ -358,5 +373,23 @@ mod tests {
         w.toggle_coin();
         assert_eq!(w.bits() ^ before, COIN_BIT);
         assert!(w.coin());
+    }
+
+    #[test]
+    fn set_coin_pins_unranked_words_and_skips_ranked_ones() {
+        let mut w = PackedState::main(false, 5, MainKind::Waiting(2));
+        w.set_coin(true);
+        assert!(w.coin());
+        w.set_coin(true); // idempotent
+        assert!(w.coin());
+        w.set_coin(false);
+        assert!(!w.coin());
+        assert_eq!(w.lane_a(), 5);
+        assert_eq!(w.lane_b(), 2);
+
+        let mut r = PackedState::ranked(7);
+        let before = r.bits();
+        r.set_coin(true);
+        assert_eq!(r.bits(), before, "ranked words carry no coin");
     }
 }

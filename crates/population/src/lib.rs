@@ -135,9 +135,11 @@ pub mod runner;
 pub mod schedule;
 pub mod silence;
 
-pub use observe::{Control, Observer, ShardObserver, ShardedRanking, ShardedSilence};
+pub use observe::{
+    Control, HonestRanking, Observer, ShardObserver, ShardedRanking, ShardedSilence,
+};
 pub use pairs::pair_mut;
-pub use protocol::{Packed, PackedProtocol, Protocol, RankOutput};
+pub use protocol::{HonestOutput, Packed, PackedProtocol, Protocol, RankOutput};
 pub use schedule::{PairSource, Schedule, SubSchedule};
 pub use sim::{FaultHook, NoFaults, Simulator, StopReason, UnpackedHook};
 
@@ -174,6 +176,34 @@ pub fn is_valid_ranking<S: RankOutput>(states: &[S]) -> bool {
 /// Number of agents currently holding a rank.
 pub fn ranked_count<S: RankOutput>(states: &[S]) -> usize {
     states.iter().filter(|s| s.rank().is_some()).count()
+}
+
+/// Returns `true` iff every *honest* agent outputs a rank in `1..=n`
+/// and no two honest agents share one — the stabilization target of a
+/// population containing `k` persistent (Byzantine) adversaries.
+///
+/// `n` is the *total* population size (`states.len()`, adversaries
+/// included): the honest agents must fit their ranks into the full rank
+/// space, but nothing is demanded of the ranks adversaries *claim* —
+/// an adversary squatting on a rank an honest agent also holds does not
+/// disqualify the configuration here (the honest agents cannot tell,
+/// and the protocol's duplicate detection will keep fighting it; that
+/// ongoing fight is measured, not defined away). With `k = 0` this
+/// predicate is exactly [`is_valid_ranking`] minus the permutation
+/// completeness — and since `n` distinct in-range ranks over `n` agents
+/// force a permutation, it *equals* [`is_valid_ranking`] then.
+pub fn is_valid_honest_ranking<S: HonestOutput>(states: &[S]) -> bool {
+    let n = states.len();
+    let mut seen = vec![false; n];
+    for s in states.iter().filter(|s| s.is_honest()) {
+        match s.rank() {
+            Some(r) if r >= 1 && (r as usize) <= n && !seen[r as usize - 1] => {
+                seen[r as usize - 1] = true;
+            }
+            _ => return false,
+        }
+    }
+    true
 }
 
 /// Returns `true` iff at least two agents output the same rank.

@@ -20,6 +20,25 @@
 //!   goal configuration (the scheduler is fair w.p. 1, and goal sets here
 //!   are closed). This is exactly the paper's definition in Section III,
 //!   checked exhaustively.
+//!
+//! Two further entry points extend the checker beyond deterministic
+//! transitions under the uniform scheduler:
+//!
+//! * [`explore_with`] explores under a caller-supplied *successor
+//!   function* mapping an ordered state pair to **all** pairs it may
+//!   step to. This is the seam for nondeterministic adversaries: a
+//!   Byzantine agent that may rewrite its own state arbitrarily (the
+//!   `scenarios` crate's `Recorrupt` strategy) is modeled by branching
+//!   over every state it could adopt, so reachability verdicts
+//!   quantify over *all* adversary behaviors, not one sampled run.
+//! * [`trace_cycle`] answers a different question for **deterministic
+//!   schedulers** (e.g. round-robin): with both the protocol and the
+//!   pair sequence fixed, the trajectory is a single infinite path
+//!   through a finite state space, hence eventually periodic. The
+//!   tracer follows it until the goal holds or a configuration repeats
+//!   at a scheduler-period boundary — a repeat *proves* the trajectory
+//!   cycles forever without ever reaching the goal, upgrading "did not
+//!   stabilize within the budget" to "can never stabilize".
 
 use std::collections::HashMap;
 
@@ -47,13 +66,57 @@ where
     P: Protocol,
     P::State: Ord + Eq + std::hash::Hash + Clone,
 {
+    explore_with(protocol, initial, cap, |p, u, v| {
+        let (mut u, mut v) = (u.clone(), v.clone());
+        p.transition(&mut u, &mut v);
+        vec![(u, v)]
+    })
+}
+
+/// Explore every configuration reachable from `initial` under a
+/// caller-supplied *successor function*: `successors(p, u, v)` returns
+/// every ordered state pair the ordered pair `(u, v)` may step to.
+///
+/// This generalizes [`explore`] (whose successor function is the single
+/// deterministic [`Protocol::transition`] outcome) to protocols with
+/// nondeterministic branches — the model-checking seam for persistent
+/// adversaries, whose strategies may choose among many rewrites of
+/// their own state. The exploration covers every resolution of the
+/// nondeterminism, and the verdicts read *possibilistically*: a silent
+/// configuration is one no pair — under no branch — can leave, and
+/// [`Reachability::all_can_reach`] means "from every reachable
+/// configuration, *some* scheduler/branch continuation reaches the
+/// goal". That upgrades to "reached with probability 1" only when the
+/// branch choice is itself a fair random draw with full support over
+/// the branch set (in particular for deterministic strategies, whose
+/// singleton branching makes the graph the exact Markov chain) — it
+/// says nothing about an *adaptive* adversary that picks branches to
+/// avoid the goal, and goals like honest ranking validity are not
+/// closed under further adversary interactions (a strategy can be
+/// "tolerated" here yet starve the goal in expectation; the
+/// `scenarios` crate's Byzantine benchmark measures exactly that gap).
+///
+/// Caveats mirror [`explore`]: at most `cap` configurations are
+/// visited, a truncated result's accessors panic, and the state type
+/// must be `Ord` for multiset canonicalization.
+pub fn explore_with<P, F>(
+    protocol: &P,
+    initial: Vec<P::State>,
+    cap: usize,
+    successors: F,
+) -> Reachability<P::State>
+where
+    P: Protocol,
+    P::State: Ord + Eq + std::hash::Hash + Clone,
+    F: Fn(&P, &P::State, &P::State) -> Vec<(P::State, P::State)>,
+{
     let mut canon = initial;
     canon.sort();
 
     let mut index: HashMap<Vec<P::State>, usize> = HashMap::new();
     let mut configs = vec![canon.clone()];
     index.insert(canon, 0);
-    let mut successors: Vec<Vec<usize>> = vec![Vec::new()];
+    let mut succ_ids: Vec<Vec<usize>> = vec![Vec::new()];
     let mut frontier = vec![0usize];
     let mut truncated = false;
 
@@ -65,41 +128,41 @@ where
                 if i == j {
                     continue;
                 }
-                let mut next = configs[ci].clone();
-                let (mut u, mut v) = (next[i].clone(), next[j].clone());
-                protocol.transition(&mut u, &mut v);
-                next[i] = u;
-                next[j] = v;
-                next.sort();
-                if next == configs[ci] {
-                    continue;
-                }
-                let id = match index.get(&next) {
-                    Some(&id) => id,
-                    None => {
-                        if configs.len() >= cap {
-                            truncated = true;
-                            continue;
-                        }
-                        let id = configs.len();
-                        configs.push(next.clone());
-                        successors.push(Vec::new());
-                        index.insert(next, id);
-                        frontier.push(id);
-                        id
+                for (u, v) in successors(protocol, &configs[ci][i], &configs[ci][j]) {
+                    let mut next = configs[ci].clone();
+                    next[i] = u;
+                    next[j] = v;
+                    next.sort();
+                    if next == configs[ci] {
+                        continue;
                     }
-                };
-                if !succ.contains(&id) {
-                    succ.push(id);
+                    let id = match index.get(&next) {
+                        Some(&id) => id,
+                        None => {
+                            if configs.len() >= cap {
+                                truncated = true;
+                                continue;
+                            }
+                            let id = configs.len();
+                            configs.push(next.clone());
+                            succ_ids.push(Vec::new());
+                            index.insert(next, id);
+                            frontier.push(id);
+                            id
+                        }
+                    };
+                    if !succ.contains(&id) {
+                        succ.push(id);
+                    }
                 }
             }
         }
-        successors[ci] = succ;
+        succ_ids[ci] = succ;
     }
 
     Reachability {
         configs,
-        successors,
+        successors: succ_ids,
         truncated,
     }
 }
@@ -182,6 +245,110 @@ impl<S: Clone> Reachability<S> {
     pub fn configs(&self) -> &[Vec<S>] {
         assert!(!self.truncated, "exploration truncated; raise the cap");
         &self.configs
+    }
+}
+
+/// Outcome of following one deterministic trajectory ([`trace_cycle`]).
+///
+/// Exactly one of three things is true of the result: the goal was hit
+/// (`goal_at`), a periodic orbit that never hits the goal was proven
+/// (`cycle_entered_at` + `period`), or the step budget ran out first
+/// (`truncated` — inconclusive).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CycleTrace {
+    /// Interaction count at which the goal first held, if it ever did.
+    pub goal_at: Option<u64>,
+    /// Interaction count (a multiple of the stride) at which the
+    /// configuration first entered the proven periodic orbit.
+    pub cycle_entered_at: Option<u64>,
+    /// Length of the proven orbit in interactions (a multiple of the
+    /// stride).
+    pub period: Option<u64>,
+    /// The step budget ran out before either verdict — inconclusive.
+    pub truncated: bool,
+}
+
+impl CycleTrace {
+    /// Did the trace *prove* the goal unreachable on this trajectory
+    /// (a periodic orbit closed without the goal ever holding)?
+    pub fn is_livelock(&self) -> bool {
+        self.goal_at.is_none() && self.period.is_some()
+    }
+}
+
+/// Follow the single trajectory of `protocol` under a **deterministic**
+/// pair sequence until `goal` holds, a cycle is proven, or `max_steps`
+/// interactions have executed.
+///
+/// `next_pair` must be deterministic and periodic with period `stride`
+/// interactions (for a round-robin sweep over `n` agents,
+/// `stride = n(n−1)`). The configuration is recorded at every stride
+/// boundary; since the scheduler is in the same phase at each boundary,
+/// a repeated configuration there proves the *entire system state*
+/// repeats — the trajectory is periodic from that point on, and if the
+/// goal never held along the explored prefix it never will
+/// ([`CycleTrace::is_livelock`]). This turns "did not stabilize within
+/// the budget" (all a stochastic run can say) into a definitive
+/// verdict, and is how the round-robin non-stabilization observed by
+/// the `sched_compare` benchmark is classified.
+///
+/// The goal is checked after every interaction (and once up front), so
+/// `goal_at` is exact, not checkpoint-quantized.
+///
+/// # Panics
+///
+/// Panics if `stride == 0`.
+pub fn trace_cycle<P, Q, G>(
+    protocol: &P,
+    initial: Vec<P::State>,
+    mut next_pair: Q,
+    stride: u64,
+    goal: G,
+    max_steps: u64,
+) -> CycleTrace
+where
+    P: Protocol,
+    P::State: Eq + std::hash::Hash + Clone,
+    Q: FnMut() -> (usize, usize),
+    G: Fn(&[P::State]) -> bool,
+{
+    assert!(stride > 0, "stride must be positive");
+    let mut states = initial;
+    let mut seen: HashMap<Vec<P::State>, u64> = HashMap::new();
+    let mut t = 0u64;
+    loop {
+        if goal(&states) {
+            return CycleTrace {
+                goal_at: Some(t),
+                cycle_entered_at: None,
+                period: None,
+                truncated: false,
+            };
+        }
+        if t.is_multiple_of(stride) {
+            if let Some(&t0) = seen.get(&states) {
+                return CycleTrace {
+                    goal_at: None,
+                    cycle_entered_at: Some(t0),
+                    period: Some(t - t0),
+                    truncated: false,
+                };
+            }
+            seen.insert(states.clone(), t);
+        }
+        if t >= max_steps {
+            return CycleTrace {
+                goal_at: None,
+                cycle_entered_at: None,
+                period: None,
+                truncated: true,
+            };
+        }
+        let (i, j) = next_pair();
+        debug_assert!(i != j && i < states.len() && j < states.len());
+        let (u, v) = crate::pairs::pair_mut(&mut states, i, j);
+        protocol.transition(u, v);
+        t += 1;
     }
 }
 
@@ -272,5 +439,137 @@ mod tests {
         let init = protocol.initial(2);
         let r = explore(&protocol, init, 100);
         assert_eq!(r.len(), 2); // {S,I} and {I,I}
+    }
+
+    #[test]
+    fn explore_with_singleton_successors_equals_explore() {
+        let protocol = Epidemic::new(4);
+        let init = protocol.initial(2);
+        let det = explore(&protocol, init.clone(), 10_000);
+        let nondet = explore_with(&protocol, init, 10_000, |p, u, v| {
+            let (mut u, mut v) = (*u, *v);
+            p.transition(&mut u, &mut v);
+            vec![(u, v)]
+        });
+        assert_eq!(det.len(), nondet.len());
+        assert_eq!(det.silent_configs(), nondet.silent_configs());
+    }
+
+    #[test]
+    fn explore_with_branches_reach_configs_no_single_resolution_does() {
+        // A counter protocol where the initiator may step to *either*
+        // neighbor value: deterministic resolution reaches a chain, the
+        // branching exploration reaches every value.
+        struct UpOrDown;
+        impl Protocol for UpOrDown {
+            type State = u8;
+            fn n(&self) -> usize {
+                2
+            }
+            fn transition(&self, u: &mut u8, _v: &mut u8) -> bool {
+                // Deterministic reading: always up (saturating at 3).
+                if *u < 3 {
+                    *u += 1;
+                    return true;
+                }
+                false
+            }
+        }
+        let branching = |_: &UpOrDown, u: &u8, v: &u8| {
+            let mut out = Vec::new();
+            if *u < 3 {
+                out.push((*u + 1, *v));
+            }
+            if *u > 0 {
+                out.push((*u - 1, *v));
+            }
+            out
+        };
+        let det = explore(&UpOrDown, vec![2, 2], 1000);
+        let nondet = explore_with(&UpOrDown, vec![2, 2], 1000, branching);
+        assert!(nondet.len() > det.len(), "branching must widen the set");
+        // Every (a, b) multiset over 0..=3 is reachable with branching.
+        assert_eq!(nondet.len(), 10);
+        // Under the adversary, the all-3 goal stays reachable from
+        // everywhere (the adversary cannot *prevent* it — the check
+        // quantifies over paths, not strategies).
+        assert!(nondet.all_can_reach(|c| c.iter().all(|&x| x == 3)));
+    }
+
+    /// Mod-4 counter stepped by the initiator: under any schedule the
+    /// trajectory cycles with period 4·stride and never reaches 17.
+    struct Mod4;
+    impl Protocol for Mod4 {
+        type State = u8;
+        fn n(&self) -> usize {
+            2
+        }
+        fn transition(&self, u: &mut u8, _v: &mut u8) -> bool {
+            *u = (*u + 1) % 4;
+            true
+        }
+    }
+
+    #[test]
+    fn trace_cycle_proves_livelock_on_a_periodic_orbit() {
+        // Alternating round-robin over 2 agents: period 2 interactions.
+        let mut t = 0usize;
+        let trace = trace_cycle(
+            &Mod4,
+            vec![0, 0],
+            || {
+                let pair = if t.is_multiple_of(2) { (0, 1) } else { (1, 0) };
+                t += 1;
+                pair
+            },
+            2,
+            |c| c.contains(&17),
+            1_000_000,
+        );
+        assert!(trace.is_livelock(), "{trace:?}");
+        assert_eq!(trace.cycle_entered_at, Some(0));
+        assert_eq!(trace.period, Some(8), "both counters wrap mod 4");
+        assert!(!trace.truncated);
+    }
+
+    #[test]
+    fn trace_cycle_reports_exact_goal_hits() {
+        let mut t = 0usize;
+        let trace = trace_cycle(
+            &Mod4,
+            vec![0, 0],
+            || {
+                let pair = if t.is_multiple_of(2) { (0, 1) } else { (1, 0) };
+                t += 1;
+                pair
+            },
+            2,
+            |c| c[0] == 3, // agent 0 steps at t = 0, 2, 4: hits 3 after 5
+            1_000_000,
+        );
+        assert_eq!(trace.goal_at, Some(5));
+        assert!(!trace.is_livelock());
+    }
+
+    #[test]
+    fn trace_cycle_budget_exhaustion_is_inconclusive() {
+        let mut t = 0usize;
+        let trace = trace_cycle(
+            &Mod4,
+            vec![0, 0],
+            || {
+                let pair = if t.is_multiple_of(2) { (0, 1) } else { (1, 0) };
+                t += 1;
+                pair
+            },
+            // Stride deliberately larger than the budget: no boundary
+            // revisit can be observed, so the result must be truncated.
+            1_000,
+            |c| c.contains(&17),
+            100,
+        );
+        assert!(trace.truncated);
+        assert_eq!(trace.goal_at, None);
+        assert_eq!(trace.period, None);
     }
 }

@@ -403,32 +403,8 @@ where
     }
 
     fn merge(&mut self, _protocol: &P, t: u64, summaries: Vec<RankSummary>) -> Control {
-        if self.hit.is_none() {
-            let mut seen: Option<Vec<u64>> = None;
-            let mut valid = true;
-            for s in summaries {
-                if s.invalid {
-                    valid = false;
-                    break;
-                }
-                match &mut seen {
-                    None => seen = Some(s.mask),
-                    Some(acc) => {
-                        for (a, m) in acc.iter_mut().zip(&s.mask) {
-                            if *a & m != 0 {
-                                valid = false; // duplicate across shards
-                            }
-                            *a |= m;
-                        }
-                        if !valid {
-                            break;
-                        }
-                    }
-                }
-            }
-            if valid {
-                self.hit = Some(t);
-            }
+        if self.hit.is_none() && merge_disjoint(summaries) {
+            self.hit = Some(t);
         }
         if self.hit.is_some() {
             Control::Stop
@@ -436,6 +412,118 @@ where
             Control::Continue
         }
     }
+}
+
+/// Stops when every *honest* agent holds a distinct in-range rank —
+/// the stabilization target of a population containing persistent
+/// (Byzantine) adversaries ([`crate::is_valid_honest_ranking`]).
+///
+/// The observer works on any state type implementing
+/// [`HonestOutput`](crate::HonestOutput) (the `scenarios` crate's
+/// `ByzState` wrapper is the canonical one) and comes in both engine
+/// flavors: as a whole-configuration [`Observer`] for sequential runs,
+/// and as a [`ShardObserver`] for the sharded engine's copy-free
+/// `run_merged` path. Each shard contributes a bitmap of the ranks its
+/// honest agents output (plus an invalid flag for unranked /
+/// out-of-range / shard-local duplicates); the merge requires the
+/// bitmaps to be pairwise disjoint. Unlike [`ShardedRanking`], no
+/// completeness is required — adversaries may leave ranks unclaimed.
+/// Both evaluation paths are property-tested against the brute-force
+/// honest-subset check in `tests/byzantine.rs`.
+#[derive(Debug, Default)]
+pub struct HonestRanking {
+    hit: Option<u64>,
+}
+
+impl HonestRanking {
+    /// New detector.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Checkpoint time at which the honest agents first held valid
+    /// distinct ranks, if they did.
+    pub fn converged_at(&self) -> Option<u64> {
+        self.hit
+    }
+
+    fn settle(&mut self, valid: bool, t: u64) -> Control {
+        if self.hit.is_none() && valid {
+            self.hit = Some(t);
+        }
+        if self.hit.is_some() {
+            Control::Stop
+        } else {
+            Control::Continue
+        }
+    }
+}
+
+impl<P: Protocol> Observer<P> for HonestRanking
+where
+    P::State: crate::HonestOutput,
+{
+    fn observe(&mut self, _protocol: &P, t: u64, states: &[P::State]) -> Control {
+        let valid = crate::is_valid_honest_ranking(states);
+        self.settle(valid, t)
+    }
+}
+
+impl<P: Protocol> ShardObserver<P> for HonestRanking
+where
+    P::State: crate::HonestOutput,
+{
+    type Summary = RankSummary;
+
+    fn summarize(&self, protocol: &P, _start: usize, states: &[P::State]) -> RankSummary {
+        use crate::{HonestOutput, RankOutput};
+        let n = protocol.n();
+        let mut mask = vec![0u64; n.div_ceil(64)];
+        let mut invalid = false;
+        for s in states.iter().filter(|s| s.is_honest()) {
+            match s.rank() {
+                Some(r) if r >= 1 && (r as usize) <= n => {
+                    let (word, bit) = ((r as usize - 1) / 64, (r as usize - 1) % 64);
+                    if mask[word] & (1 << bit) != 0 {
+                        invalid = true; // honest duplicate within the shard
+                    }
+                    mask[word] |= 1 << bit;
+                }
+                _ => invalid = true,
+            }
+        }
+        RankSummary { mask, invalid }
+    }
+
+    fn merge(&mut self, _protocol: &P, t: u64, summaries: Vec<RankSummary>) -> Control {
+        let valid = merge_disjoint(summaries);
+        self.settle(valid, t)
+    }
+}
+
+/// Merge rank-bitmap summaries: valid iff no summary carries the
+/// invalid flag and the bitmaps are pairwise disjoint (shared by
+/// [`ShardedRanking`] and [`HonestRanking`], whose merges differ only
+/// in what counts as invalid within a shard).
+fn merge_disjoint(summaries: Vec<RankSummary>) -> bool {
+    let mut seen: Option<Vec<u64>> = None;
+    for s in summaries {
+        if s.invalid {
+            return false;
+        }
+        match &mut seen {
+            None => seen = Some(s.mask),
+            Some(acc) => {
+                for (a, m) in acc.iter_mut().zip(&s.mask) {
+                    if *a & m != 0 {
+                        return false; // duplicate across shards
+                    }
+                    *a |= m;
+                }
+            }
+        }
+    }
+    true
 }
 
 /// Stops when the merged configuration is silent — the shard-local

@@ -135,3 +135,19 @@ pub trait RankOutput {
     /// The rank in `1..=n` output by this state, if any.
     fn rank(&self) -> Option<u64>;
 }
+
+/// Output map for protocols with a designated adversary subset: each
+/// state knows whether its agent is *honest* (executes the protocol) or
+/// a persistent (Byzantine) adversary.
+///
+/// With `k` persistent adversaries, a self-stabilization claim can only
+/// be made about the `n − k` honest agents — the adversaries never
+/// converge by definition. This trait is the seam between the engine's
+/// honest-subset predicates ([`crate::is_valid_honest_ranking`], the
+/// [`HonestRanking`](crate::observe::HonestRanking) observer) and the
+/// `scenarios` crate's `Byzantine` protocol wrapper, whose wrapped
+/// states implement it.
+pub trait HonestOutput: RankOutput {
+    /// Is this agent honest (i.e. not a designated adversary)?
+    fn is_honest(&self) -> bool;
+}

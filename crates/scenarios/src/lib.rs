@@ -9,22 +9,39 @@
 //! the scheduler away from the uniform assumption — and measures how
 //! long the protocol takes to climb back.
 //!
-//! # The three layers
+//! # The four layers
 //!
-//! * **Fault injection** ([`fault`]) — composable [`fault::Fault`]
-//!   injectors bound to firing schedules by a [`fault::FaultPlan`]
-//!   (exact interaction counts, fixed periods, or stochastic rates). The
-//!   plan implements [`population::FaultHook`], so
+//! The three adversary axes escalate from transient to persistent, and
+//! the fourth layer measures the climb back:
+//!
+//! * **Fault injection** ([`fault`]) — *transient* state adversity:
+//!   composable [`fault::Fault`] injectors bound to firing schedules by
+//!   a [`fault::FaultPlan`] (exact interaction counts, fixed periods,
+//!   or stochastic rates). The plan implements
+//!   [`population::FaultHook`], so
 //!   [`Simulator::run_faulted`](population::Simulator::run_faulted)
 //!   splits its batched loop at exactly the scheduled counts. An empty
 //!   plan is bit-for-bit trajectory-equivalent to `run_batched`.
 //!   Ready-made injectors for `StableRanking` (corruption, churn, rank
 //!   duplication/erasure, coin bias, full randomization) live in
-//!   [`ranking_faults`].
-//! * **Adversarial schedulers** ([`sched`]) — [`sched::BiasedSchedule`],
-//!   [`sched::ClusteredSchedule`], and [`sched::RoundRobinSchedule`]
-//!   implement [`population::PairSource`], plugging into the engine via
+//!   [`ranking_faults`]. The plan lifecycle is: build fluently (`once` /
+//!   `periodic` / `poisson`) → the engine asks
+//!   [`peek_next`](fault::FaultPlan::peek_next) where to split → each
+//!   firing corrupts the configuration and appends to the
+//!   [`fired`](fault::FaultPlan::fired) log that recovery measurement
+//!   consumes.
+//! * **Adversarial schedulers** ([`sched`]) — *scheduler* adversity:
+//!   [`sched::BiasedSchedule`], [`sched::ClusteredSchedule`], and
+//!   [`sched::RoundRobinSchedule`] implement
+//!   [`population::PairSource`], plugging into the engine via
 //!   [`Simulator::with_source`](population::Simulator::with_source).
+//! * **Byzantine agents** ([`byzantine`]) — *persistent* agent
+//!   adversity: the [`byzantine::Byzantine`] wrapper designates `k`
+//!   agents as adversaries following a pluggable
+//!   [`byzantine::Strategy`] (ready-made `StableRanking` strategies in
+//!   [`ranking_byz`]); honest-subset stabilization is observed with
+//!   [`population::HonestRanking`] and classified exhaustively at tiny
+//!   `n` by [`byzantine::classify`].
 //! * **Recovery measurement** ([`recovery`]) — [`recovery::Recovery`]
 //!   pairs each fired fault with the first checkpoint at which legality
 //!   holds again; [`recovery::run_recovery`] is the driver the `recovery`
@@ -58,12 +75,18 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod byzantine;
 pub mod fault;
+pub mod ranking_byz;
 pub mod ranking_faults;
 pub mod recovery;
 pub mod sched;
 mod util;
 
+pub use byzantine::{
+    classify, run_honest, run_honest_sharded, ByzState, Byzantine, Classification, Strategy,
+    Tolerance,
+};
 pub use fault::{DuplicateRank, EraseRank, Fault, FaultPlan, FiredFault, MapStates, StateRewrite};
 pub use recovery::{run_recovery, run_recovery_sharded, Recovery, RecoveryEvent};
 pub use sched::{BiasedSchedule, ClusteredSchedule, RoundRobinSchedule};

@@ -1,0 +1,363 @@
+//! Ready-made Byzantine strategies for the paper's `StableRanking`.
+//!
+//! Each constructor binds one of the generic strategies in
+//! [`crate::byzantine`] to `StableRanking`'s state space — in both
+//! representations: the structured [`StableState`] enum (the readable
+//! reference path) and the packed [`PackedState`] word (the
+//! throughput path, for `Byzantine<Packed<StableRanking>, _>` runs).
+//! The two meet nowhere mid-run: a packed Byzantine run manipulates
+//! words directly ([`PackedState::ranked`], [`PackedState::set_coin`]),
+//! no codec round-trip on the hot path.
+//!
+//! The strategies attack different pillars of Theorem 2, ordered from
+//! harshest to mildest:
+//!
+//! * [`recorrupt`] — randomize the own state on every touch: sustained
+//!   localized corruption, probing the *recovery* half of
+//!   self-stabilization (the persistent version of
+//!   [`ranking_faults::corrupt`](crate::ranking_faults::corrupt)); a
+//!   fifth of the state space is reset states, so the adversary also
+//!   keeps seeding `PROPAGATERESET` waves;
+//! * [`rank_squatter`] — permanently claim a fixed rank: every honest
+//!   agent that earns the same rank creates a duplicate only the
+//!   `Θ(n² log n)` duplicate-meeting argument can surface — forever —
+//!   and, subtler, a permanently-*ranked* adversary keeps pulling
+//!   honest electors out of the lottery into premature phase-1 states
+//!   (Protocol 3 lines 4–6);
+//! * [`mimic`] — copy the partner's state: a walking duplicate of
+//!   whomever it last met, re-arming rank duplication indefinitely;
+//! * [`coin_jammer`] — always answer the lottery with the same coin:
+//!   Protocol 5's initiator reads the *responder's* synthetic coin, so
+//!   a pinned coin attacks the heads/tails balance Lemma 28 rests on;
+//! * [`lurker`] — never leave the election lobby: a freerider frozen
+//!   in the initial `FASTLEADERELECTION` state (with a frozen coin),
+//!   shrinking the honest main population by one without ever
+//!   presenting a main state;
+//! * [`crash`] — the classic crash-stop fault: permanently dormant,
+//!   inert to every partner.
+//!
+//! For exhaustive model checking, [`recorrupt_exhaustive`] attaches the
+//! full state-space universe ([`ranking::audit::enumerate_states`]) so
+//! the checker branches over *every* rewrite the adversary could
+//! choose; the other three strategies are deterministic and model-check
+//! as they are.
+
+use population::Packed;
+use rand::rngs::SmallRng;
+use ranking::audit::enumerate_states;
+use ranking::stable::state::{UnRole, UnState};
+use ranking::stable::{PackedState, StableRanking, StableState};
+
+use crate::byzantine::{CoinJammer, Mimic, Pin, Recorrupt, Strategy};
+
+/// Every strategy kind this module provides, in canonical table order —
+/// shared by the `byzantine` benchmark and the tests so "every
+/// strategy" means the same list everywhere. Ordered from the harshest
+/// (sustained random rewrites) to the mildest (a crashed agent).
+pub const STRATEGIES: [&str; 6] = [
+    "recorrupt",
+    "rank_squatter",
+    "mimic",
+    "coin_jammer",
+    "lurker",
+    "crash",
+];
+
+/// Construct the strategy named `kind` for structured-state runs
+/// (`Byzantine<StableRanking, _>`), with its conventional parameters
+/// (the squatter claims rank 1 — the most contested rank, the one the
+/// unaware leader itself must hold; the jammer and the lurker pin
+/// their coins to tails).
+///
+/// # Panics
+///
+/// Panics on a name outside [`STRATEGIES`].
+pub fn standard(kind: &str, protocol: &StableRanking) -> Box<dyn Strategy<StableRanking>> {
+    match kind {
+        "recorrupt" => Box::new(recorrupt(protocol)),
+        "rank_squatter" => Box::new(rank_squatter(1)),
+        "mimic" => Box::new(mimic()),
+        "coin_jammer" => Box::new(coin_jammer(false)),
+        "lurker" => Box::new(lurker(protocol, false)),
+        "crash" => Box::new(crash(protocol)),
+        other => panic!("unknown strategy kind {other} (see ranking_byz::STRATEGIES)"),
+    }
+}
+
+/// [`standard`], for packed-word runs
+/// (`Byzantine<Packed<StableRanking>, _>`).
+///
+/// # Panics
+///
+/// Panics on a name outside [`STRATEGIES`].
+pub fn standard_packed(
+    kind: &str,
+    protocol: &StableRanking,
+) -> Box<dyn Strategy<Packed<StableRanking>>> {
+    match kind {
+        "recorrupt" => Box::new(recorrupt_packed(protocol)),
+        "rank_squatter" => Box::new(rank_squatter_packed(1)),
+        "mimic" => Box::new(mimic()),
+        "coin_jammer" => Box::new(coin_jammer_packed(false)),
+        "lurker" => Box::new(lurker_packed(protocol, false)),
+        "crash" => Box::new(crash_packed(protocol)),
+        other => panic!("unknown strategy kind {other} (see ranking_byz::STRATEGIES)"),
+    }
+}
+
+/// Randomize the own state (uniformly over the valid state space) on
+/// every touch.
+pub fn recorrupt(
+    protocol: &StableRanking,
+) -> Recorrupt<impl Fn(&mut SmallRng) -> StableState + Send + Sync, StableState> {
+    let p = protocol.clone();
+    Recorrupt::new(move |rng: &mut SmallRng| p.random_state(rng))
+}
+
+/// [`recorrupt`] with the full state-space branching universe attached
+/// — required for exhaustive model checking
+/// ([`crate::byzantine::Byzantine::successors`] branches over every
+/// state the adversary could adopt). Materializes `n + O(log² n)`
+/// states; intended for the tiny-`n` classification runs.
+pub fn recorrupt_exhaustive(
+    protocol: &StableRanking,
+) -> Recorrupt<impl Fn(&mut SmallRng) -> StableState + Send + Sync, StableState> {
+    recorrupt(protocol).with_universe(enumerate_states(protocol.params()))
+}
+
+/// [`recorrupt`] over packed words (the generator packs at the
+/// boundary; the run itself stays on words).
+pub fn recorrupt_packed(
+    protocol: &StableRanking,
+) -> Recorrupt<impl Fn(&mut SmallRng) -> PackedState + Send + Sync, PackedState> {
+    let p = protocol.clone();
+    Recorrupt::new(move |rng: &mut SmallRng| PackedState::pack(&p.random_state(rng)))
+}
+
+/// Permanently claim `rank`: the adversary presents `Ranked(rank)`
+/// forever, reverting after every touch.
+pub fn rank_squatter(rank: u64) -> Pin<StableState> {
+    Pin::new("rank_squatter", StableState::Ranked(rank))
+}
+
+/// [`rank_squatter`] over packed words (a ranked word is `rank << 5`,
+/// so squatting is a single word store).
+pub fn rank_squatter_packed(rank: u64) -> Pin<PackedState> {
+    Pin::new("rank_squatter", PackedState::ranked(rank))
+}
+
+/// The dormant state a crashed agent is pinned to.
+fn dormant(protocol: &StableRanking) -> StableState {
+    StableState::Un(UnState {
+        coin: false,
+        role: UnRole::Reset {
+            reset_count: 0,
+            delay_count: protocol.params().d_max(),
+        },
+    })
+}
+
+/// Crash-stop: the adversary permanently presents a *dormant* reset
+/// state — the mildest persistent fault. `PROPAGATERESET`'s
+/// dormant-×-anything rule only ever ticks the dormant side, so the
+/// crashed agent is inert to every partner: the honest population must
+/// simply rank itself one agent short.
+pub fn crash(protocol: &StableRanking) -> Pin<StableState> {
+    Pin::new("crash", dormant(protocol))
+}
+
+/// [`crash`] over packed words.
+pub fn crash_packed(protocol: &StableRanking) -> Pin<PackedState> {
+    Pin::new("crash", PackedState::pack(&dormant(protocol)))
+}
+
+/// The frozen leader-election state a lurker is pinned to.
+fn lobby(protocol: &StableRanking, coin: bool) -> StableState {
+    StableState::Un(UnState {
+        coin,
+        role: UnRole::Elect(protocol.fast_le().initial_state()),
+    })
+}
+
+/// Lurker: the adversary permanently presents the initial
+/// `FASTLEADERELECTION` state with a frozen coin — a freerider that
+/// never leaves the lobby. Honest electors keep observing the same
+/// coin from it (a localized [`coin_jammer`]), and it never joins the
+/// main protocol, so it neither takes a rank nor pulls electors out of
+/// the election the way a ranked-presenting adversary does.
+pub fn lurker(protocol: &StableRanking, coin: bool) -> Pin<StableState> {
+    Pin::new("lurker", lobby(protocol, coin))
+}
+
+/// [`lurker`] over packed words.
+pub fn lurker_packed(protocol: &StableRanking, coin: bool) -> Pin<PackedState> {
+    Pin::new("lurker", PackedState::pack(&lobby(protocol, coin)))
+}
+
+/// Copy the partner's state on every touch (works unchanged on both
+/// representations — re-exported here for the canonical list).
+pub fn mimic() -> Mimic {
+    Mimic::new()
+}
+
+/// Follow the protocol but answer every lottery with the same coin:
+/// the synthetic coin is pinned to `value` after every touch (ranked
+/// disguises carry no coin and are left alone).
+pub fn coin_jammer(value: bool) -> CoinJammer<impl Fn(&mut StableState) + Send + Sync> {
+    CoinJammer::new(move |s: &mut StableState| {
+        if let StableState::Un(un) = s {
+            un.coin = value;
+        }
+    })
+}
+
+/// [`coin_jammer`] over packed words ([`PackedState::set_coin`] — a
+/// two-instruction mask update, the packed-path access this strategy
+/// needs).
+pub fn coin_jammer_packed(value: bool) -> CoinJammer<impl Fn(&mut PackedState) + Send + Sync> {
+    CoinJammer::new(move |w: &mut PackedState| w.set_coin(value))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::byzantine::{ByzRng, Role};
+    use population::Protocol;
+
+    use ranking::Params;
+
+    fn protocol(n: usize) -> StableRanking {
+        StableRanking::new(Params::new(n))
+    }
+
+    /// Drive one react through a throwaway RNG word.
+    fn react_once<P: Protocol, St: Strategy<P>>(
+        strategy: &St,
+        p: &P,
+        own: &mut P::State,
+        partner: &P::State,
+    ) {
+        let mut word = 7u64;
+        let mut rng = ByzRng::new(&mut word);
+        strategy.react(p, Role::Responder, own, partner, &mut rng);
+    }
+
+    #[test]
+    fn standard_builds_every_kind_in_both_representations() {
+        let p = protocol(16);
+        for kind in STRATEGIES {
+            assert_eq!(standard(kind, &p).name(), kind);
+            assert_eq!(standard_packed(kind, &p).name(), kind);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown strategy kind")]
+    fn standard_rejects_unknown_kinds() {
+        let _ = standard("bitflip", &protocol(8));
+    }
+
+    #[test]
+    fn squatter_reverts_to_its_rank() {
+        let p = protocol(8);
+        let s = rank_squatter(3);
+        let mut own = StableState::Ranked(7); // the protocol's prescription
+        react_once(&s, &p, &mut own, &StableState::Ranked(1));
+        assert_eq!(own, StableState::Ranked(3));
+        let sp = rank_squatter_packed(3);
+        let mut word = PackedState::ranked(7);
+        react_once(
+            &sp,
+            &Packed(protocol(8)),
+            &mut word,
+            &PackedState::ranked(1),
+        );
+        assert_eq!(word, PackedState::ranked(3));
+    }
+
+    #[test]
+    fn jammer_pins_the_coin_in_both_representations() {
+        let p = protocol(8);
+        let s = coin_jammer(true);
+        let mut own = p.initial()[1]; // electing, coin = false
+        assert_eq!(own.coin(), Some(false));
+        react_once(&s, &p, &mut own, &StableState::Ranked(1));
+        assert_eq!(own.coin(), Some(true));
+        // Ranked disguises carry no coin and are untouched.
+        let mut ranked = StableState::Ranked(2);
+        react_once(&s, &p, &mut ranked, &StableState::Ranked(1));
+        assert_eq!(ranked, StableState::Ranked(2));
+
+        let sp = coin_jammer_packed(true);
+        let mut word = PackedState::pack(&p.initial()[1]);
+        react_once(
+            &sp,
+            &Packed(protocol(8)),
+            &mut word,
+            &PackedState::ranked(1),
+        );
+        assert!(word.coin());
+    }
+
+    #[test]
+    fn recorrupt_draws_valid_states_and_exhaustive_universe_is_the_state_space() {
+        let p = protocol(8);
+        let s = recorrupt(&p);
+        let mut word = 11u64;
+        for _ in 0..50 {
+            let mut own = StableState::Ranked(1);
+            let mut handle = ByzRng::new(&mut word);
+            s.react(
+                &p,
+                Role::Initiator,
+                &mut own,
+                &StableState::Ranked(2),
+                &mut handle,
+            );
+            assert!(own.is_valid_for(p.params()));
+        }
+        let ex = recorrupt_exhaustive(&p);
+        let branches = ex.branches(
+            &p,
+            Role::Initiator,
+            &StableState::Ranked(1),
+            &StableState::Ranked(2),
+        );
+        assert_eq!(branches.len(), enumerate_states(p.params()).len());
+    }
+
+    #[test]
+    fn packed_strategies_commute_with_the_codec() {
+        // For every deterministic strategy: reacting on the word equals
+        // packing the enum-side reaction.
+        let p = protocol(8);
+        let enum_states = [
+            StableState::Ranked(4),
+            p.initial()[0],
+            p.initial()[1],
+            p.legal()[2],
+        ];
+        for kind in ["rank_squatter", "mimic", "coin_jammer", "lurker", "crash"] {
+            let se = standard(kind, &p);
+            let sp = standard_packed(kind, &p);
+            for own in enum_states {
+                for partner in enum_states {
+                    let mut e = own;
+                    react_once(&se, &p, &mut e, &partner);
+                    let mut w = PackedState::pack(&own);
+                    react_once(
+                        &sp,
+                        &Packed(protocol(8)),
+                        &mut w,
+                        &PackedState::pack(&partner),
+                    );
+                    assert_eq!(
+                        w,
+                        PackedState::pack(&e),
+                        "{kind}: {own:?} meets {partner:?}"
+                    );
+                }
+            }
+        }
+    }
+}

@@ -4,7 +4,7 @@
 //! The paper's Theorem 2 promises stabilization from *any*
 //! configuration, which implies recovery from any mid-run corruption.
 //! [`Recovery`] turns that claim into a measurement: it pairs every
-//! fault fired by a [`FaultPlan`](crate::fault::FaultPlan) with the
+//! fault fired by a [`FaultPlan`] with the
 //! first subsequent checkpoint at which the caller's legality predicate
 //! holds again, producing a list of [`RecoveryEvent`]s whose
 //! `recovered_at − injected_at` intervals are the recovery times the

@@ -8,8 +8,34 @@
 //! draws pairs from its own [`SubSchedule`](population::SubSchedule)
 //! sub-stream of the uniform scheduler, and cross-shard interactions
 //! are resolved through a boundary-pair exchange protocol — see
-//! [`ShardedSimulator`] for the execution model, determinism contract,
-//! and the `shards = 1 ≡ run_batched` equivalence.
+//! [`ShardedSimulator`] for the full execution model, determinism
+//! contract, and the `shards = 1 ≡ run_batched` equivalence.
+//!
+//! # Block lifecycle (phase / exchange)
+//!
+//! Time advances in blocks; every block runs two phases:
+//!
+//! 1. **Intra phase** — each shard draws its quota of pairs from its
+//!    sub-stream and executes the pairs whose responder is local,
+//!    lock-free and in draw order (lanes are disjoint). Pairs whose
+//!    responder lives in another lane are deferred into a per-peer
+//!    outbox.
+//! 2. **Exchange phase** — deferred boundary pairs execute in a fixed
+//!    round-robin tournament over shard pairs: each round is a set of
+//!    disjoint matches, each match executed by one worker holding
+//!    *both* lanes (first `a`'s deferred pairs into `b`, then `b`'s
+//!    into `a`, each in draw order). Every interaction stays an atomic
+//!    pairwise update; only the interleaving differs from a
+//!    sequential run.
+//!
+//! Barriers separate the phases; within a phase every worker touches
+//! only lanes it exclusively owns, which is why the trajectory is a
+//! pure function of `(seed, shards, block size)` and never of the
+//! worker count. `run_faulted` splits blocks at exact fault
+//! interaction counts, and checkpoints (`run_observed` snapshots /
+//! `run_merged` per-lane summaries) land between blocks at exact
+//! interaction counts, so the `scenarios` fault plans and the
+//! observer pipeline behave identically to the sequential engine.
 //!
 //! The engine plugs into every existing seam:
 //!
