@@ -9,9 +9,23 @@
 //!   transition — the engine's speed-of-light);
 //! * the paper's `StableRanking` over its structured enum states
 //!   (transition-bound: the protocol dominates);
-//! * `StableRanking` over the packed single-word representation
-//!   (`Packed<StableRanking>`): same trajectory bit-for-bit, flat
-//!   `u64` storage, table-driven transitions.
+//! * `StableRanking` over the packed single-word representation with
+//!   the scalar (pair-at-a-time) block loop
+//!   (`ScalarBlock<Packed<StableRanking>>`): flat `u64` storage,
+//!   table-driven transitions;
+//! * `StableRanking` through its block transition kernel
+//!   (`Packed<StableRanking>`, see `ranking::stable::kernel`): whole
+//!   schedule blocks walked in one in-order pass with branchless
+//!   classification and per-class branchless cores. The kernel rows
+//!   also record the *dispatch mix* — the fraction of interactions
+//!   each transition class executed — so a throughput shift can be
+//!   attributed to a workload shift vs a kernel change;
+//! * both packed paths again on the *converged* configuration
+//!   (`stable_ranking_silent` / `stable_ranking_kernel_silent`): a
+//!   fully ranked population is silent, every meeting is a
+//!   ranked×ranked null pair, and a stabilized simulation spends all
+//!   further interactions there — the regime the kernel's null fast
+//!   path targets.
 //!
 //! All paths execute the identical trajectory, so every comparison is
 //! pure representation/engine overhead.
@@ -21,19 +35,24 @@
 //! `baseline=BENCH_engine.json` to print per-protocol speedup against a
 //! previously recorded artifact — perf regressions visible in one
 //! command. Pass `--smoke` to assert (exit 1 on failure) that the
-//! packed path is at least `floor=` (default 0.9) times the enum path —
-//! the CI throughput smoke.
+//! packed path is at least `floor=` (default 0.9) times the enum path
+//! and, at `n ≥ 10⁴`, that the kernel is at least `kernel_floor=`
+//! (default 0.7) times the scalar packed path on the transient
+//! workload and at least `silent_floor=` (default 1.05) times it on
+//! the converged workload — the CI throughput smoke.
 //!
 //! Usage: `cargo run --release -p bench --bin engine_throughput --
 //! [interactions=20000000] [samples=5] [sizes=1000,10000,100000]
-//! [out=BENCH_engine.json] [baseline=PATH] [floor=0.9] [--smoke] [--csv]`
+//! [out=BENCH_engine.json] [baseline=PATH] [floor=0.9]
+//! [kernel_floor=0.7] [silent_floor=1.05] [--smoke] [--csv]`
 
 use std::process::ExitCode;
 
 use bench::timing::time_runs;
 use bench::{f3, Experiment, Json, Table};
 use population::primitives::epidemic::Epidemic;
-use population::{Packed, Protocol, Simulator};
+use population::{Packed, Protocol, ScalarBlock, Simulator};
+use ranking::stable::state::StableState;
 use ranking::stable::StableRanking;
 use ranking::Params;
 
@@ -43,6 +62,9 @@ struct Measurement {
     interactions: u64,
     scalar_ips: f64,
     batched_ips: f64,
+    /// Kernel rows only: fraction of batched interactions executed by
+    /// each dispatch lane (`[reset, both-elect, one-elect, main/main]`).
+    dispatch_mix: Option<[f64; 4]>,
 }
 
 impl Measurement {
@@ -62,6 +84,24 @@ where
     P: Protocol,
     F: Fn() -> (P, Vec<P::State>),
 {
+    measure_with(name, n, interactions, samples, make, |_, _| None)
+}
+
+/// Like [`measure`], but `finish` inspects the batched simulator's
+/// protocol after its timed runs — the hook the kernel row uses to pull
+/// the accumulated dispatch-mix counters.
+fn measure_with<P, F>(
+    name: &'static str,
+    n: usize,
+    interactions: u64,
+    samples: usize,
+    make: F,
+    finish: impl Fn(&P, u64) -> Option<[f64; 4]>,
+) -> Measurement
+where
+    P: Protocol,
+    F: Fn() -> (P, Vec<P::State>),
+{
     let (protocol, init) = make();
     let mut sim = Simulator::new(protocol, init, 7);
     let scalar = time_runs(1, samples, || {
@@ -75,6 +115,7 @@ where
     let batched = time_runs(1, samples, || {
         sim.run_batched(interactions);
     });
+    let dispatch_mix = finish(sim.protocol(), sim.interactions());
 
     Measurement {
         protocol: name,
@@ -82,6 +123,7 @@ where
         interactions,
         scalar_ips: scalar.per_second(interactions as f64),
         batched_ips: batched.per_second(interactions as f64),
+        dispatch_mix,
     }
 }
 
@@ -121,6 +163,22 @@ fn read_baseline(path: &str) -> Vec<(String, usize, f64)> {
     out
 }
 
+/// The dispatch-mix hook for kernel rows: turn the accumulated
+/// per-class counters into fractions of the executed interactions.
+fn kernel_mix(p: &Packed<StableRanking>, executed: u64) -> Option<[f64; 4]> {
+    let mix = p.inner().dispatch_mix();
+    let total: u64 = mix.iter().sum();
+    debug_assert_eq!(total, executed);
+    let _ = executed;
+    (total > 0).then(|| mix.map(|c| c as f64 / total as f64))
+}
+
+/// The converged configuration: a valid ranking is silent, so every
+/// interaction is a ranked×ranked null pair.
+fn ranked_init(n: usize) -> Vec<StableState> {
+    (1..=n as u64).map(StableState::Ranked).collect()
+}
+
 fn main() -> ExitCode {
     let exp = Experiment::from_env("engine_throughput");
     let interactions: u64 = exp.get("interactions", 20_000_000);
@@ -158,9 +216,27 @@ fn main() -> ExitCode {
                 (p, init)
             },
         ));
-        // The same protocol and trajectory over packed words.
+        // The same protocol and trajectory over packed words, forced
+        // through the scalar (pair-at-a-time) block loop — the A/B
+        // baseline for the kernel row below.
         results.push(measure(
             "stable_ranking_packed",
+            n,
+            interactions / 4,
+            samples,
+            || {
+                let inner = Packed(StableRanking::new(Params::new(n)));
+                let init = inner.pack_all(&inner.inner().initial());
+                (ScalarBlock(inner), init)
+            },
+        ));
+        // Packed words through the block transition kernel: one
+        // in-order pass per block, branchless classification and
+        // per-class branchless cores. Same trajectory bit-for-bit; the
+        // dispatch-mix counters attribute the throughput to the
+        // classes that did the work.
+        results.push(measure_with(
+            "stable_ranking_kernel",
             n,
             interactions / 4,
             samples,
@@ -169,20 +245,61 @@ fn main() -> ExitCode {
                 let init = p.pack_all(&p.inner().initial());
                 (p, init)
             },
+            kernel_mix,
+        ));
+        // The converged regime, no warmup needed: a pre-built valid
+        // ranking starts silent and stays silent.
+        results.push(measure(
+            "stable_ranking_silent",
+            n,
+            interactions / 4,
+            samples,
+            || {
+                let inner = Packed(StableRanking::new(Params::new(n)));
+                let init = inner.pack_all(&ranked_init(n));
+                (ScalarBlock(inner), init)
+            },
+        ));
+        results.push(measure_with(
+            "stable_ranking_kernel_silent",
+            n,
+            interactions / 4,
+            samples,
+            || {
+                let p = Packed(StableRanking::new(Params::new(n)));
+                let init = p.pack_all(&ranked_init(n));
+                (p, init)
+            },
+            kernel_mix,
         ));
     }
 
     let mut table = Table::new(
         format!("Engine throughput, median of {samples} runs"),
-        &["protocol", "n", "scalar M/s", "batched M/s", "speedup"],
+        &[
+            "protocol",
+            "n",
+            "scalar M/s",
+            "batched M/s",
+            "speedup",
+            "mix rst/e2/e1/main %",
+        ],
     );
     for m in &results {
+        let mix = m.dispatch_mix.map_or_else(
+            || "-".to_string(),
+            |mix| {
+                mix.map(|f| format!("{:.1}", f * 100.0))
+                    .join("/")
+            },
+        );
         table.push(vec![
             m.protocol.to_string(),
             m.n.to_string(),
             f3(m.scalar_ips / 1e6),
             f3(m.batched_ips / 1e6),
             f3(m.speedup()),
+            mix,
         ]);
     }
     exp.emit(&table);
@@ -225,14 +342,23 @@ fn main() -> ExitCode {
                 results
                     .iter()
                     .map(|m| {
-                        Json::obj([
+                        let mut fields = vec![
                             ("protocol", m.protocol.into()),
                             ("n", m.n.into()),
                             ("interactions_per_sample", m.interactions.into()),
                             ("scalar_interactions_per_sec", m.scalar_ips.into()),
                             ("batched_interactions_per_sec", m.batched_ips.into()),
                             ("speedup", m.speedup().into()),
-                        ])
+                        ];
+                        if let Some(mix) = m.dispatch_mix {
+                            fields.extend([
+                                ("mix_reset", mix[0].into()),
+                                ("mix_both_elect", mix[1].into()),
+                                ("mix_one_elect", mix[2].into()),
+                                ("mix_main_main", mix[3].into()),
+                            ]);
+                        }
+                        Json::obj(fields)
                     })
                     .collect(),
             ),
@@ -240,22 +366,34 @@ fn main() -> ExitCode {
     ]);
     exp.write_json("BENCH_engine.json", payload);
 
+    // Historical note: this ratio sat at ~2.5x while the scalar step
+    // path cloned both states per transition; the copy-free scalar loop
+    // tripled scalar epidemic throughput, so batched/scalar ~0.7-1.0x
+    // on a trivial transition is expected now (batching pays a block
+    // buffer round-trip that the inline sampler does not).
     if let Some(engine_bound) = results
         .iter()
         .find(|m| m.protocol == "epidemic" && m.n == 100_000)
     {
         exp.note(&format!(
-            "engine-bound speedup at n = 1e5: {:.2}x (target: >= 1.5x)",
+            "engine-bound batched/scalar at n = 1e5: {:.2}x \
+             (informational; both paths are copy-free since the kernel PR)",
             engine_bound.speedup()
         ));
     }
 
     // CI throughput smoke: the packed representation must not be slower
-    // than the enum path. The floor is deliberately generous (0.9x) so
-    // shared-runner noise cannot flake the build; real regressions are
-    // far below it.
+    // than the enum path, and the block kernel must hold its measured
+    // position against the scalar packed loop — parity (within host
+    // noise) on the churn-heavy transient, a clear win on the
+    // converged/silent workload. The floors sit well below the
+    // steady-state measurements (0.9x vs ~2x, 0.7x vs ~0.9x, 1.05x vs
+    // ~1.3x) so shared-runner noise cannot flake the build; real
+    // regressions are far below them.
     if exp.flag("smoke") {
         let floor: f64 = exp.get("floor", 0.9);
+        let kernel_floor: f64 = exp.get("kernel_floor", 0.7);
+        let silent_floor: f64 = exp.get("silent_floor", 1.05);
         let mut ok = true;
         for &n in &sizes {
             let by = |name: &str| {
@@ -266,6 +404,7 @@ fn main() -> ExitCode {
             };
             let enum_ips = by("stable_ranking").batched_ips;
             let packed_ips = by("stable_ranking_packed").batched_ips;
+            let kernel_ips = by("stable_ranking_kernel").batched_ips;
             let ratio = packed_ips / enum_ips;
             exp.note(&format!(
                 "smoke n={n}: packed/enum batched ratio {ratio:.2} (floor {floor})"
@@ -276,6 +415,38 @@ fn main() -> ExitCode {
                      (floor {floor}) — the packed representation regressed"
                 );
                 ok = false;
+            }
+            // Tiny populations finish ranking mid-measurement and the
+            // two regimes blur; gate the kernel floors from n = 1e4 up
+            // where the mixes are stable.
+            if n >= 10_000 {
+                let kratio = kernel_ips / packed_ips;
+                exp.note(&format!(
+                    "smoke n={n}: kernel/scalar-packed batched ratio {kratio:.2} \
+                     (floor {kernel_floor})"
+                ));
+                if kratio < kernel_floor {
+                    eprintln!(
+                        "SMOKE FAILURE: block kernel is {kratio:.2}x the scalar packed \
+                         path at n={n} (floor {kernel_floor}) — the kernel regressed"
+                    );
+                    ok = false;
+                }
+                let silent_packed = by("stable_ranking_silent").batched_ips;
+                let silent_kernel = by("stable_ranking_kernel_silent").batched_ips;
+                let sratio = silent_kernel / silent_packed;
+                exp.note(&format!(
+                    "smoke n={n}: silent kernel/scalar-packed ratio {sratio:.2} \
+                     (floor {silent_floor})"
+                ));
+                if sratio < silent_floor {
+                    eprintln!(
+                        "SMOKE FAILURE: block kernel is {sratio:.2}x the scalar packed \
+                         path on the silent workload at n={n} (floor {silent_floor}) — \
+                         the null fast path regressed"
+                    );
+                    ok = false;
+                }
             }
         }
         if !ok {

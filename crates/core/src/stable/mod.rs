@@ -16,6 +16,7 @@
 //! 5. finally, the responder's synthetic coin is toggled (lines 9–10).
 
 pub mod display;
+pub mod kernel;
 pub mod packed;
 pub mod ranking_plus;
 pub mod reset;
@@ -52,6 +53,7 @@ pub struct StableRanking {
     fast: FastLe,
     tables: StepTables,
     reset_events: AtomicU64,
+    class_hits: [AtomicU64; 4],
 }
 
 impl Clone for StableRanking {
@@ -62,6 +64,7 @@ impl Clone for StableRanking {
             fast: self.fast,
             tables: self.tables.clone(),
             reset_events: AtomicU64::new(self.resets_triggered()),
+            class_hits: self.dispatch_mix().map(AtomicU64::new),
         }
     }
 }
@@ -95,6 +98,7 @@ impl StableRanking {
             fast,
             tables,
             reset_events: AtomicU64::new(0),
+            class_hits: Default::default(),
         }
     }
 
@@ -125,6 +129,23 @@ impl StableRanking {
     /// mid-run reads may lag).
     pub fn resets_triggered(&self) -> u64 {
         self.reset_events.load(Ordering::Relaxed)
+    }
+
+    /// Per-class interaction counts executed through the block kernel's
+    /// classified lanes ([`kernel`]), indexed
+    /// `[reset-involved, both-electing, one-electing, main/main]`.
+    ///
+    /// Only block-kernel interactions are counted — the scalar paths
+    /// ([`transition`](Protocol::transition),
+    /// [`transition_packed`](PackedProtocol::transition_packed), and the
+    /// kernel's `n = 2` fallback) don't classify, so they don't count.
+    /// The `engine_throughput` bench records this dispatch mix alongside
+    /// kernel throughput: a perf regression that coincides with a mix
+    /// shift is a workload change, not a kernel change. Same relaxed
+    /// aggregation semantics as
+    /// [`resets_triggered`](StableRanking::resets_triggered).
+    pub fn dispatch_mix(&self) -> [u64; 4] {
+        [0, 1, 2, 3].map(|c| self.class_hits[c].load(Ordering::Relaxed))
     }
 
     fn elect_state(&self, coin: bool) -> StableState {

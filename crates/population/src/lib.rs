@@ -52,6 +52,10 @@
 //!   ([`observe::Unpacked`]) and fault ([`UnpackedHook`]) boundaries.
 //!   The packed path is bit-for-bit trajectory-equivalent to the
 //!   structured one — a pure optimization, exactly like batching.
+//!   Packed protocols may additionally override the per-block seam
+//!   ([`BatchedProtocol`]) with a gather/classify/lane *block kernel*;
+//!   [`Packed`] dispatches every block there, and [`ScalarBlock`]
+//!   forces the scalar reference loop for A/B comparison.
 //!
 //! # Components
 //!
@@ -139,7 +143,9 @@ pub use observe::{
     Control, HonestRanking, Observer, ShardObserver, ShardedRanking, ShardedSilence,
 };
 pub use pairs::pair_mut;
-pub use protocol::{HonestOutput, Packed, PackedProtocol, Protocol, RankOutput};
+pub use protocol::{
+    BatchedProtocol, HonestOutput, Packed, PackedProtocol, Protocol, RankOutput, ScalarBlock,
+};
 pub use schedule::{PairSource, Schedule, SubSchedule};
 pub use sim::{FaultHook, NoFaults, Simulator, StopReason, UnpackedHook};
 

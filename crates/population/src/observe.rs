@@ -23,7 +23,7 @@
 //! [`run_sampled`](crate::Simulator::run_sampled) are thin sugar over
 //! this pipeline.
 
-use crate::protocol::{Packed, PackedProtocol, Protocol};
+use crate::protocol::{BatchedProtocol, Packed, PackedProtocol, Protocol};
 use crate::silence::is_silent;
 
 /// Verdict returned by an observer at a checkpoint.
@@ -283,7 +283,7 @@ impl<P: PackedProtocol, O> Unpacked<P, O> {
     }
 }
 
-impl<P: PackedProtocol, O: Observer<P>> Observer<Packed<P>> for Unpacked<P, O> {
+impl<P: BatchedProtocol, O: Observer<P>> Observer<Packed<P>> for Unpacked<P, O> {
     fn observe(&mut self, protocol: &Packed<P>, t: u64, words: &[P::Packed]) -> Control {
         self.scratch.clear();
         self.scratch

@@ -1,5 +1,8 @@
 use std::fmt::Debug;
 
+use crate::pairs::pair_mut;
+use crate::schedule::Pair;
+
 /// A population protocol: a state space and a common transition function
 /// over ordered pairs of agents.
 ///
@@ -35,6 +38,39 @@ pub trait Protocol {
     /// spurious `true` for an unchanged pair is always safe, merely
     /// unoptimized.
     fn transition(&self, initiator: &mut Self::State, responder: &mut Self::State) -> bool;
+
+    /// Apply a whole block of scheduled `pairs` to `states`, in draw
+    /// order, returning the number of interactions that changed a state
+    /// (same no-false-negatives contract as the per-pair `changed`
+    /// flag). This is the batched engine's per-block entry point:
+    /// [`Simulator::run_batched`](crate::Simulator::run_batched) and the
+    /// sharded intra-phase lanes call it once per block instead of
+    /// dispatching per pair.
+    ///
+    /// The default is the scalar reference loop: split-borrow both
+    /// states ([`pair_mut`]) and run [`transition`](Protocol::transition)
+    /// on each pair in order — copy-free (no per-pair clones), and
+    /// bit-for-bit what `count` calls of
+    /// [`step`](crate::Simulator::step) would do. Implementations may
+    /// override it with a block kernel (see
+    /// [`BatchedProtocol`] and `StableRanking`'s transition kernel), but
+    /// must preserve exact trajectory equivalence with the scalar loop —
+    /// including when `pairs` repeats an agent index, where the later
+    /// pair must observe the earlier pair's writes.
+    ///
+    /// # Panics
+    ///
+    /// May panic if a pair has `i == j` or an index out of bounds;
+    /// [`PairSource`](crate::PairSource) implementations never produce
+    /// such pairs.
+    fn transition_block(&self, states: &mut [Self::State], pairs: &[Pair]) -> u64 {
+        let mut changed = 0;
+        for &(i, j) in pairs {
+            let (u, v) = pair_mut(states, i as usize, j as usize);
+            changed += u64::from(self.transition(u, v));
+        }
+        changed
+    }
 }
 
 /// A [`Protocol`] that additionally offers a *packed* machine-word
@@ -81,6 +117,49 @@ pub trait PackedProtocol: Protocol {
     fn transition_packed(&self, u: &mut Self::Packed, v: &mut Self::Packed) -> bool;
 }
 
+/// The block-kernel seam: a [`PackedProtocol`] that can execute a whole
+/// schedule block of interactions over the flat word array in one call.
+///
+/// Running pair-at-a-time, every interaction pays the full dispatch
+/// cost — role classification branches, hazard-free but serialized
+/// loads — and the branch predictor sees an unpredictable interleaving
+/// of transition classes. A block kernel instead *gathers* the words
+/// for a block of pairs, classifies every pair with branchless mask
+/// tests, partitions the block into per-class lanes, and runs each lane
+/// as a tight uniform loop (see `StableRanking`'s
+/// `ranking::stable::kernel`). [`Packed`] routes
+/// [`Protocol::transition_block`] here, so a packed simulation picks up
+/// the kernel automatically wherever blocks are executed
+/// ([`Simulator::run_batched`](crate::Simulator::run_batched),
+/// `run_faulted`, the sharded intra-phase lanes).
+///
+/// The contract is exact trajectory equivalence: the override must be
+/// bit-for-bit equal to running
+/// [`transition_packed`](PackedProtocol::transition_packed) over the
+/// pairs in draw order — including *intra-block hazards*, where a pair
+/// touches an agent an earlier pair in the same block also touched and
+/// must observe its writes (kernels split the block at such conflicts).
+/// The provided default is exactly that scalar loop, so
+/// `impl BatchedProtocol for X {}` is always a correct starting point.
+///
+/// To run a packed protocol *without* its kernel (A/B benchmarking,
+/// differential tests), wrap it in [`ScalarBlock`].
+pub trait BatchedProtocol: PackedProtocol {
+    /// Apply a whole block of scheduled `pairs` to the packed `words`,
+    /// in draw order; returns the number of word-changing interactions.
+    /// Must be bit-for-bit trajectory-equivalent to the scalar
+    /// [`transition_packed`](PackedProtocol::transition_packed) loop
+    /// (the provided default).
+    fn transition_block(&self, words: &mut [Self::Packed], pairs: &[Pair]) -> u64 {
+        let mut changed = 0;
+        for &(i, j) in pairs {
+            let (u, v) = pair_mut(words, i as usize, j as usize);
+            changed += u64::from(self.transition_packed(u, v));
+        }
+        changed
+    }
+}
+
 /// Adapter running a [`PackedProtocol`] over its packed words: the
 /// simulator's state vector becomes a flat `Vec<P::Packed>` and every
 /// interaction dispatches to
@@ -113,7 +192,7 @@ impl<P: PackedProtocol> Packed<P> {
     }
 }
 
-impl<P: PackedProtocol> Protocol for Packed<P> {
+impl<P: BatchedProtocol> Protocol for Packed<P> {
     type State = P::Packed;
 
     fn n(&self) -> usize {
@@ -123,6 +202,39 @@ impl<P: PackedProtocol> Protocol for Packed<P> {
     fn transition(&self, u: &mut Self::State, v: &mut Self::State) -> bool {
         self.0.transition_packed(u, v)
     }
+
+    fn transition_block(&self, states: &mut [Self::State], pairs: &[Pair]) -> u64 {
+        // UFCS: both `Protocol` and `BatchedProtocol` name a
+        // `transition_block`, and here they operate on the same word
+        // type — this is the dispatch point that hands blocks to the
+        // protocol's kernel (or the scalar default).
+        BatchedProtocol::transition_block(&self.0, states, pairs)
+    }
+}
+
+/// Adapter forcing the default *scalar* block path for a protocol,
+/// bypassing any [`BatchedProtocol`] kernel it may have.
+///
+/// `ScalarBlock(Packed(p))` runs the packed representation with the
+/// pair-at-a-time reference loop — the A/B twin of `Packed(p)` (which
+/// dispatches blocks to the kernel). Used by the `engine_throughput`
+/// bench to report kernel and scalar-packed rows side by side, and by
+/// the differential tests in `tests/packed_equivalence.rs`.
+#[derive(Debug, Clone)]
+pub struct ScalarBlock<P>(pub P);
+
+impl<P: Protocol> Protocol for ScalarBlock<P> {
+    type State = P::State;
+
+    fn n(&self) -> usize {
+        self.0.n()
+    }
+
+    fn transition(&self, u: &mut Self::State, v: &mut Self::State) -> bool {
+        self.0.transition(u, v)
+    }
+    // No `transition_block` override: blocks run through the provided
+    // scalar split-borrow loop regardless of the inner protocol.
 }
 
 /// Output map for ranking protocols: the rank an agent currently outputs,

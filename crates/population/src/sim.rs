@@ -1,6 +1,6 @@
 use crate::observe::{Convergence, Observer, Sampler};
 use crate::pairs::pair_mut;
-use crate::protocol::{Packed, PackedProtocol, Protocol};
+use crate::protocol::{BatchedProtocol, Packed, Protocol};
 use crate::schedule::{PairSource, Schedule, BLOCK_PAIRS};
 
 /// Why a bounded run stopped.
@@ -97,7 +97,7 @@ impl<H> UnpackedHook<H> {
     }
 }
 
-impl<P: PackedProtocol, H: FaultHook<P>> FaultHook<Packed<P>> for UnpackedHook<H> {
+impl<P: BatchedProtocol, H: FaultHook<P>> FaultHook<Packed<P>> for UnpackedHook<H> {
     fn next_fire(&mut self, now: u64) -> Option<u64> {
         self.inner.next_fire(now)
     }
@@ -108,6 +108,22 @@ impl<P: PackedProtocol, H: FaultHook<P>> FaultHook<Packed<P>> for UnpackedHook<H
         for (w, s) in words.iter_mut().zip(&states) {
             *w = protocol.inner().pack(s);
         }
+    }
+}
+
+/// The same adaptation for the scalar-reference twin
+/// ([`ScalarBlock`](crate::ScalarBlock)`<`[`Packed`]`<P>>`), so the
+/// kernel differential tests can run identical fault plans against both
+/// block paths.
+impl<P: BatchedProtocol, H: FaultHook<P>> FaultHook<crate::ScalarBlock<Packed<P>>>
+    for UnpackedHook<H>
+{
+    fn next_fire(&mut self, now: u64) -> Option<u64> {
+        self.inner.next_fire(now)
+    }
+
+    fn fire(&mut self, protocol: &crate::ScalarBlock<Packed<P>>, t: u64, words: &mut [P::Packed]) {
+        FaultHook::<Packed<P>>::fire(self, &protocol.0, t, words);
     }
 }
 
@@ -233,29 +249,23 @@ impl<P: Protocol, S: PairSource> Simulator<P, S> {
     /// path. Trajectory-equivalent to calling [`step`](Simulator::step)
     /// `count` times (same seed ⇒ same pairs ⇒ same configuration), but
     /// substantially faster: pairs are pre-sampled in blocks of
-    /// [`BLOCK_PAIRS`], amortizing scheduler overhead, and transitions
-    /// are applied read–compute–writeback on cloned states, which avoids
-    /// the slice-splitting branches of [`pair_mut`] in the inner loop
-    /// (states are small `Copy`-like values in every protocol here, so
-    /// the clones compile to register moves). Null interactions —
-    /// [`transition`](Protocol::transition) returned `false` — skip the
-    /// write-back entirely, so a (partially) silent configuration
-    /// dirties no cache lines; this is why the `changed` flag's
-    /// "no false negatives" contract exists.
+    /// [`BLOCK_PAIRS`], amortizing scheduler overhead, and each block is
+    /// handed whole to
+    /// [`Protocol::transition_block`](Protocol::transition_block). For
+    /// plain protocols that is the copy-free scalar loop (split-borrow
+    /// via [`pair_mut`], no per-pair clones); packed protocols with a
+    /// [`BatchedProtocol`](crate::BatchedProtocol) kernel (e.g.
+    /// `StableRanking`) execute the block through their
+    /// gather/classify/lane kernel instead — same trajectory bit for
+    /// bit. Null interactions dirty no cache lines on either path
+    /// (kernels skip the write-back of unchanged words); this is why
+    /// the `changed` flag's "no false negatives" contract exists.
     pub fn run_batched(&mut self, count: u64) {
         let mut remaining = count;
         while remaining > 0 {
             let want = remaining.min(BLOCK_PAIRS as u64) as usize;
             let block = self.schedule.sample_block(want);
-            let states = &mut self.states;
-            for &(i, j) in block {
-                let mut u = states[i as usize].clone();
-                let mut v = states[j as usize].clone();
-                if self.protocol.transition(&mut u, &mut v) {
-                    states[i as usize] = u;
-                    states[j as usize] = v;
-                }
-            }
+            self.protocol.transition_block(&mut self.states, block);
             let executed = block.len() as u64;
             self.interactions += executed;
             remaining -= executed;

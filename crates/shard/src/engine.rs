@@ -22,6 +22,11 @@ struct Slot<S> {
     /// Boundary pairs drawn this block, bucketed by the responder's
     /// shard; drained (in draw order) by the exchange phase.
     outbox: Vec<Vec<Pair>>,
+    /// Reusable buffer of lane-local pairs (indices rebased to the
+    /// lane), collected per sampled block and executed with one
+    /// [`Protocol::transition_block`] call — so a packed protocol's
+    /// block kernel runs on the shard hot path too.
+    local: Vec<Pair>,
 }
 
 /// A multi-threaded, deterministic executor for a single run of a
@@ -115,8 +120,13 @@ fn quota(total: u64, shards: usize, s: usize, rot: usize) -> u64 {
 }
 
 /// Intra phase for one shard: draw `quota` pairs from the shard's
-/// sub-stream; execute local pairs in draw order, defer boundary pairs
-/// into the outbox. Only this shard's lane is read or written.
+/// sub-stream; partition each sampled block into lane-local pairs
+/// (executed in draw order with a single
+/// [`Protocol::transition_block`] call, which dispatches to a packed
+/// protocol's block kernel) and boundary pairs (deferred into the
+/// outbox). Only this shard's lane is read or written. Deferring a
+/// boundary pair executes nothing, so the draw-order trajectory is
+/// identical to the old pair-at-a-time loop.
 fn intra_phase<P: Protocol>(
     protocol: &P,
     owners: &OwnerMap,
@@ -129,6 +139,7 @@ fn intra_phase<P: Protocol>(
         states,
         sched,
         outbox,
+        local,
     } = &mut *guard;
     let (start, len) = (*start, states.len());
     let mut remaining = quota;
@@ -138,19 +149,13 @@ fn intra_phase<P: Protocol>(
         for &(i, j) in block {
             let lj = (j as usize).wrapping_sub(start);
             if lj < len {
-                // Local responder: execute in draw order
-                // (read–compute–writeback, like `run_batched`).
-                let li = i as usize - start;
-                let mut u = states[li].clone();
-                let mut v = states[lj].clone();
-                if protocol.transition(&mut u, &mut v) {
-                    states[li] = u;
-                    states[lj] = v;
-                }
+                local.push(((i as usize - start) as u32, lj as u32));
             } else {
                 outbox[owners.owner(j)].push((i, j));
             }
         }
+        protocol.transition_block(states, local);
+        local.clear();
         remaining -= block.len() as u64;
     }
 }
@@ -181,26 +186,16 @@ fn exchange<P: Protocol>(
         outbox: b_outbox,
         ..
     } = sb;
-    // Read–compute–writeback with the same null-interaction write skip
-    // as the batched engine: silent pairs dirty no cache lines.
+    // Copy-free split borrow: the two lanes are distinct `Vec`s, so
+    // both sides mutate in place with no clone and no write-back pass.
     for &(i, j) in &a_outbox[b] {
         let (li, lj) = (i as usize - *a_start, j as usize - *b_start);
-        let mut u = a_states[li].clone();
-        let mut v = b_states[lj].clone();
-        if protocol.transition(&mut u, &mut v) {
-            a_states[li] = u;
-            b_states[lj] = v;
-        }
+        protocol.transition(&mut a_states[li], &mut b_states[lj]);
     }
     a_outbox[b].clear();
     for &(i, j) in &b_outbox[a] {
         let (li, lj) = (i as usize - *b_start, j as usize - *a_start);
-        let mut u = b_states[li].clone();
-        let mut v = a_states[lj].clone();
-        if protocol.transition(&mut u, &mut v) {
-            b_states[li] = u;
-            a_states[lj] = v;
-        }
+        protocol.transition(&mut b_states[li], &mut a_states[lj]);
     }
     b_outbox[a].clear();
 }
@@ -250,6 +245,7 @@ impl<P: Protocol> ShardedSimulator<P> {
                     states,
                     sched,
                     outbox: vec![Vec::new(); shards],
+                    local: Vec::new(),
                 })
             })
             .collect();

@@ -306,3 +306,201 @@ proptest! {
         prop_assert_eq!(enum_sim.states(), &unpacked[..]);
     }
 }
+
+// ---------------------------------------------------------------------
+// Block-kernel differentials (ISSUE 6): `Packed<StableRanking>` routes
+// whole blocks through the `ranking::stable::kernel` implementation of
+// `BatchedProtocol::transition_block`; `ScalarBlock<Packed<_>>` forces
+// the pair-at-a-time reference loop over the same words. The two must
+// be bit-for-bit trajectory twins — same words, same interaction
+// counters, same reset instrumentation — or the kernel's throughput
+// rows would describe a different protocol.
+
+use silent_ranking::population::schedule::Pair;
+use silent_ranking::population::{BatchedProtocol, PackedProtocol, ScalarBlock};
+
+/// Run the ScalarBlock reference in `chunk`-sized `run_batched` calls
+/// against a single-shot kernel run and assert exact agreement.
+fn assert_kernel_equivalent(n: usize, config_seed: u64, seed: u64, total: u64, chunk: u64) {
+    let scalar_sim = {
+        let p = ScalarBlock(Packed(protocol(n)));
+        let init = p.0.pack_all(&p.0.inner().adversarial_uniform(config_seed));
+        let mut sim = Simulator::new(p, init, seed);
+        let mut left = total;
+        while left > 0 {
+            let step = chunk.min(left);
+            sim.run_batched(step);
+            left -= step;
+        }
+        sim
+    };
+
+    let kernel_sim = {
+        let p = Packed(protocol(n));
+        let init = p.pack_all(&p.inner().adversarial_uniform(config_seed));
+        let mut sim = Simulator::new(p, init, seed);
+        sim.run_batched(total);
+        sim
+    };
+
+    assert_eq!(scalar_sim.interactions(), kernel_sim.interactions());
+    assert_eq!(
+        scalar_sim.states(),
+        kernel_sim.states(),
+        "kernel trajectory diverged (n={n}, config_seed={config_seed}, seed={seed}, \
+         total={total}, chunk={chunk})"
+    );
+    assert_eq!(
+        scalar_sim.protocol().0.inner().resets_triggered(),
+        kernel_sim.protocol().inner().resets_triggered(),
+        "kernel reset instrumentation diverged (n={n}, seed={seed})"
+    );
+    // The kernel delegates n == 2 populations to the scalar dispatcher
+    // (every pair hits the same two agents), which does not count class
+    // hits — the mix accounting contract starts at n = 3.
+    if n > 2 {
+        let mix = kernel_sim.protocol().inner().dispatch_mix();
+        assert_eq!(
+            mix.iter().sum::<u64>(),
+            total,
+            "kernel dispatch mix must account for every interaction"
+        );
+    }
+}
+
+#[test]
+fn kernel_equals_scalar_block_through_run_batched() {
+    for n in [2usize, 3, 8, 33, 257] {
+        for seed in 0..3u64 {
+            assert_kernel_equivalent(n, seed.wrapping_mul(7919) + 1, seed, 60_000, 60_000);
+        }
+    }
+}
+
+#[test]
+fn kernel_equivalence_holds_across_block_boundary_chunks() {
+    // The engine samples schedule blocks of 4096 pairs; driving the
+    // reference in chunks of 4095/4096/4097 exercises full blocks,
+    // exact-boundary blocks, and every partial-tail size around them.
+    for chunk in [4095u64, 4096, 4097] {
+        assert_kernel_equivalent(48, 5, 11, 20_000, chunk);
+    }
+}
+
+#[test]
+fn kernel_transition_block_handles_repeated_agents_like_the_scalar_loop() {
+    // Direct `transition_block` calls with crafted pair lists in which
+    // the same agent appears many times per block — the read-after-write
+    // hazard the in-order kernel must preserve exactly.
+    let n = 64usize;
+    let make_words = |p: &Packed<StableRanking>| p.pack_all(&p.inner().adversarial_uniform(9));
+    let pair_sets: Vec<Vec<Pair>> = vec![
+        vec![(0, 1); 64],
+        (0..63).map(|k| (k as u32, k as u32 + 1)).collect(),
+        (0..4096)
+            .map(|k: u32| (k % n as u32, (k * 7 + 1) % n as u32))
+            .filter(|&(i, j)| i != j)
+            .collect(),
+    ];
+    for pairs in pair_sets {
+        let kernel = Packed(protocol(n));
+        let mut kernel_words = make_words(&kernel);
+        let kernel_changed =
+            BatchedProtocol::transition_block(kernel.inner(), &mut kernel_words, &pairs);
+
+        let reference = Packed(protocol(n));
+        let mut ref_words = make_words(&reference);
+        let mut ref_changed = 0u64;
+        for &(i, j) in &pairs {
+            let (u, v) = silent_ranking::population::pair_mut(
+                &mut ref_words,
+                i as usize,
+                j as usize,
+            );
+            ref_changed += u64::from(reference.inner().transition_packed(u, v));
+        }
+
+        assert_eq!(kernel_words, ref_words, "{} pairs", pairs.len());
+        assert_eq!(kernel_changed, ref_changed);
+        assert_eq!(
+            kernel.inner().resets_triggered(),
+            reference.inner().resets_triggered()
+        );
+    }
+}
+
+#[test]
+fn kernel_equals_scalar_block_through_run_faulted() {
+    for kind in ranking_faults::KINDS {
+        let (n, seed, total) = (24usize, 4u64, 30_000u64);
+        let at = total / 2;
+
+        let p = ScalarBlock(Packed(protocol(n)));
+        let init = p.0.pack_all(&p.0.inner().figure3());
+        let mut scalar_hook = UnpackedHook::new(plan_for(kind, p.0.inner(), n, at, seed));
+        let mut scalar_sim = Simulator::new(p, init, seed);
+        scalar_sim.run_faulted(total, &mut scalar_hook);
+
+        let p = Packed(protocol(n));
+        let init = p.pack_all(&p.inner().figure3());
+        let mut kernel_hook = UnpackedHook::new(plan_for(kind, p.inner(), n, at, seed));
+        let mut kernel_sim = Simulator::new(p, init, seed);
+        kernel_sim.run_faulted(total, &mut kernel_hook);
+
+        assert_eq!(
+            scalar_hook.inner().fired(),
+            kernel_hook.inner().fired(),
+            "{kind}: firing logs diverged"
+        );
+        assert_eq!(
+            scalar_sim.states(),
+            kernel_sim.states(),
+            "{kind}: kernel faulted trajectory diverged"
+        );
+    }
+}
+
+#[test]
+fn kernel_equals_scalar_block_through_the_sharded_engine() {
+    // The shard engine routes every intra-phase lane through
+    // `transition_block`, so sharded kernel runs must match sharded
+    // scalar-reference runs at any shard count.
+    use silent_ranking::shard::ShardedSimulator;
+    for shards in [1usize, 4] {
+        for (n, seed) in [(32usize, 2u64), (65, 6)] {
+            let p = ScalarBlock(Packed(protocol(n)));
+            let init = p.0.pack_all(&p.0.inner().adversarial_uniform(seed));
+            let mut scalar_sim = ShardedSimulator::new(p, init, seed, shards);
+            scalar_sim.run(50_000);
+
+            let p = Packed(protocol(n));
+            let init = p.pack_all(&p.inner().adversarial_uniform(seed));
+            let mut kernel_sim = ShardedSimulator::new(p, init, seed, shards);
+            kernel_sim.run(50_000);
+
+            assert_eq!(
+                scalar_sim.states(),
+                kernel_sim.states(),
+                "shards={shards}, n={n}, seed={seed}"
+            );
+            assert_eq!(scalar_sim.interactions(), kernel_sim.interactions());
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 12, ..ProptestConfig::default() })]
+
+    /// Randomized kernel-vs-reference equivalence across sizes, seeds,
+    /// horizons, and chunk decompositions.
+    #[test]
+    fn kernel_equivalence_holds_for_random_runs(
+        n in 2usize..48,
+        config_seed in 0u64..10_000,
+        seed in 0u64..10_000,
+        total in 0u64..25_000,
+        chunk in 1u64..8000,
+    ) {
+        assert_kernel_equivalent(n, config_seed, seed, total, chunk);
+    }
+}
