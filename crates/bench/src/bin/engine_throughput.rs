@@ -30,6 +30,16 @@
 //! All paths execute the identical trajectory, so every comparison is
 //! pure representation/engine overhead.
 //!
+//! Two extra kernel rows measure the telemetry **probe seam**
+//! (`population::Probe`): `stable_ranking_kernel_null_probe` times
+//! `run_probed::<NullProbe>` against the unprobed `run_batched` in
+//! interleaved pairs (in these rows the "scalar" column is the paired
+//! unprobed throughput), and `stable_ranking_kernel_recorded` times a
+//! full `telemetry::Recorder` riding the same blocks. The JSON artifact
+//! additionally records each size's best paired null-probe ratio
+//! (`probe_overhead`), and every artifact now embeds a run-provenance
+//! `manifest` block (arguments, git revision, rustc, host cores).
+//!
 //! Writes `BENCH_engine.json` (override with `out=`) so later
 //! performance work has a recorded trajectory to beat. Pass
 //! `baseline=BENCH_engine.json` to print per-protocol speedup against a
@@ -38,20 +48,23 @@
 //! packed path is at least `floor=` (default 0.9) times the enum path
 //! and, at `n ≥ 10⁴`, that the kernel is at least `kernel_floor=`
 //! (default 0.7) times the scalar packed path on the transient
-//! workload and at least `silent_floor=` (default 1.05) times it on
-//! the converged workload — the CI throughput smoke.
+//! workload, at least `silent_floor=` (default 1.05) times it on
+//! the converged workload, and that the best paired null-probe ratio
+//! reaches `probe_floor=` (default 0.95) — the CI throughput smoke.
 //!
 //! Usage: `cargo run --release -p bench --bin engine_throughput --
 //! [interactions=20000000] [samples=5] [sizes=1000,10000,100000]
 //! [out=BENCH_engine.json] [baseline=PATH] [floor=0.9]
-//! [kernel_floor=0.7] [silent_floor=1.05] [--smoke] [--csv]`
+//! [kernel_floor=0.7] [silent_floor=1.05] [probe_floor=0.95]
+//! [--smoke] [--csv]`
 
 use std::process::ExitCode;
+use std::time::Instant;
 
 use bench::timing::time_runs;
 use bench::{f3, Experiment, Json, Table};
 use population::primitives::epidemic::Epidemic;
-use population::{Packed, Protocol, ScalarBlock, Simulator};
+use population::{NullProbe, Packed, Protocol, ScalarBlock, Simulator};
 use ranking::stable::state::StableState;
 use ranking::stable::StableRanking;
 use ranking::Params;
@@ -163,10 +176,13 @@ fn read_baseline(path: &str) -> Vec<(String, usize, f64)> {
     out
 }
 
-/// The dispatch-mix hook for kernel rows: turn the accumulated
-/// per-class counters into fractions of the executed interactions.
+/// The dispatch-mix hook for kernel rows: read the per-class counters
+/// out of the protocol's unified metrics registry (the same snapshot
+/// any telemetry consumer sees) and turn them into fractions of the
+/// executed interactions.
 fn kernel_mix(p: &Packed<StableRanking>, executed: u64) -> Option<[f64; 4]> {
-    let mix = p.inner().dispatch_mix();
+    let snap = p.inner().metrics().snapshot();
+    let mix = ranking::stable::DISPATCH_COUNTERS.map(|name| snap.counter(name).unwrap_or(0));
     let total: u64 = mix.iter().sum();
     debug_assert_eq!(total, executed);
     let _ = executed;
@@ -177,6 +193,79 @@ fn kernel_mix(p: &Packed<StableRanking>, executed: u64) -> Option<[f64; 4]> {
 /// interaction is a ranked×ranked null pair.
 fn ranked_init(n: usize) -> Vec<StableState> {
     (1..=n as u64).map(StableState::Ranked).collect()
+}
+
+/// Probe-seam overhead rows, measured by **interleaved paired
+/// sampling**.
+///
+/// The bench host is a single-core, frequency-unstable machine: two
+/// independently timed medians of *identical* machine code routinely
+/// differ by ~10%, so an independent-median ratio cannot resolve a 5%
+/// seam regression. Instead every sample times the unprobed
+/// `run_batched` and the `NullProbe` `run_probed` back-to-back (same
+/// frequency window) and the smoke gate uses the **best** paired ratio
+/// across samples: if `run_probed::<NullProbe>` truly monomorphizes to
+/// the pre-seam code, at least one quiet window shows a ratio near 1.0,
+/// while a real codegen regression caps every window's ratio below it.
+/// A `Recorder`-mode sample rides the same loop for the recorded-mode
+/// row (informational — active tracing is allowed to cost).
+struct ProbeRows {
+    n: usize,
+    interactions: u64,
+    plain_ips: f64,
+    null_ips: f64,
+    recorded_ips: f64,
+    /// Best (max) per-sample ratio `t_plain / t_null` — the smoke gate.
+    best_null_ratio: f64,
+}
+
+fn measure_probe_rows(n: usize, interactions: u64, samples: usize) -> ProbeRows {
+    let fresh = || {
+        let p = Packed(StableRanking::new(Params::new(n)));
+        let init = p.pack_all(&p.inner().initial());
+        Simulator::new(p, init, 7)
+    };
+    let mut plain_sim = fresh();
+    let mut null_sim = fresh();
+    let mut rec_sim = fresh();
+    // A small ring keeps the recorded row's memory bounded; overwritten
+    // events are still counted, which is all this row needs.
+    let mut recorder = telemetry::Recorder::with_capacity(1 << 12);
+    // One untimed warmup per path.
+    plain_sim.run_batched(interactions);
+    null_sim.run_probed(interactions, &mut NullProbe);
+    rec_sim.run_probed(interactions, &mut recorder);
+    let mut plain_t = Vec::with_capacity(samples);
+    let mut null_t = Vec::with_capacity(samples);
+    let mut rec_t = Vec::with_capacity(samples);
+    let mut best_null_ratio = 0.0f64;
+    for _ in 0..samples {
+        let t0 = Instant::now();
+        plain_sim.run_batched(interactions);
+        let tp = t0.elapsed().as_secs_f64();
+        let t0 = Instant::now();
+        null_sim.run_probed(interactions, &mut NullProbe);
+        let tn = t0.elapsed().as_secs_f64();
+        let t0 = Instant::now();
+        rec_sim.run_probed(interactions, &mut recorder);
+        let tr = t0.elapsed().as_secs_f64();
+        best_null_ratio = best_null_ratio.max(tp / tn);
+        plain_t.push(tp);
+        null_t.push(tn);
+        rec_t.push(tr);
+    }
+    let median = |mut v: Vec<f64>| {
+        v.sort_by(f64::total_cmp);
+        v[v.len() / 2]
+    };
+    ProbeRows {
+        n,
+        interactions,
+        plain_ips: interactions as f64 / median(plain_t),
+        null_ips: interactions as f64 / median(null_t),
+        recorded_ips: interactions as f64 / median(rec_t),
+        best_null_ratio,
+    }
 }
 
 fn main() -> ExitCode {
@@ -274,6 +363,33 @@ fn main() -> ExitCode {
         ));
     }
 
+    // Probe-seam overhead rows: paired unprobed vs NullProbe vs
+    // Recorder samples over the kernel path (see [`measure_probe_rows`]).
+    // In these rows the "scalar" column is the *paired unprobed*
+    // `run_batched` throughput, not a step loop.
+    let probe_rows: Vec<ProbeRows> = sizes
+        .iter()
+        .map(|&n| measure_probe_rows(n, interactions / 4, samples))
+        .collect();
+    for p in &probe_rows {
+        results.push(Measurement {
+            protocol: "stable_ranking_kernel_null_probe",
+            n: p.n,
+            interactions: p.interactions,
+            scalar_ips: p.plain_ips,
+            batched_ips: p.null_ips,
+            dispatch_mix: None,
+        });
+        results.push(Measurement {
+            protocol: "stable_ranking_kernel_recorded",
+            n: p.n,
+            interactions: p.interactions,
+            scalar_ips: p.plain_ips,
+            batched_ips: p.recorded_ips,
+            dispatch_mix: None,
+        });
+    }
+
     let mut table = Table::new(
         format!("Engine throughput, median of {samples} runs"),
         &[
@@ -288,10 +404,7 @@ fn main() -> ExitCode {
     for m in &results {
         let mix = m.dispatch_mix.map_or_else(
             || "-".to_string(),
-            |mix| {
-                mix.map(|f| format!("{:.1}", f * 100.0))
-                    .join("/")
-            },
+            |mix| mix.map(|f| format!("{:.1}", f * 100.0)).join("/"),
         );
         table.push(vec![
             m.protocol.to_string(),
@@ -336,6 +449,20 @@ fn main() -> ExitCode {
 
     let payload = Json::obj([
         ("samples", samples.into()),
+        (
+            "probe_overhead",
+            Json::Arr(
+                probe_rows
+                    .iter()
+                    .map(|p| {
+                        Json::obj([
+                            ("n", p.n.into()),
+                            ("best_null_paired_ratio", p.best_null_ratio.into()),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
         (
             "measurements",
             Json::Arr(
@@ -394,7 +521,27 @@ fn main() -> ExitCode {
         let floor: f64 = exp.get("floor", 0.9);
         let kernel_floor: f64 = exp.get("kernel_floor", 0.7);
         let silent_floor: f64 = exp.get("silent_floor", 1.05);
+        let probe_floor: f64 = exp.get("probe_floor", 0.95);
         let mut ok = true;
+        // The probe-seam guard: on at least one paired sample the
+        // NullProbe path must reach probe_floor of the unprobed path
+        // (tiny populations blur under measurement noise, so the gate
+        // starts at n = 1e4 like the kernel floors below).
+        for p in probe_rows.iter().filter(|p| p.n >= 10_000) {
+            exp.note(&format!(
+                "smoke n={}: best paired null-probe/unprobed ratio {:.3} (floor {probe_floor})",
+                p.n, p.best_null_ratio
+            ));
+            if p.best_null_ratio < probe_floor {
+                eprintln!(
+                    "SMOKE FAILURE: NullProbe kernel path reached only {:.3}x the \
+                     unprobed path at n={} across every paired sample \
+                     (floor {probe_floor}) — the probe seam is no longer free",
+                    p.best_null_ratio, p.n
+                );
+                ok = false;
+            }
+        }
         for &n in &sizes {
             let by = |name: &str| {
                 results

@@ -1,0 +1,132 @@
+//! `ssr-trace` — validate and summarize a flight-recorder JSONL trace.
+//!
+//! Reads a trace written by `telemetry::schema::render_trace` (e.g. by
+//! `examples/trace.rs` or any `scenarios::run_recovery_traced` caller),
+//! validates it against the versioned schema (header first, known kinds
+//! only, per-kind required fields, monotone event timestamps), and
+//! prints a digest: event counts by kind, the covered interaction-time
+//! range, every fault firing with its injector name, and an ASCII
+//! rendering of each histogram line.
+//!
+//! Exit status is the validation verdict — `0` for a schema-valid
+//! trace, `1` otherwise — so CI can gate on it directly. Pass `--check`
+//! to suppress the digest and print a single `ok:` line (the CI trace
+//! smoke's mode).
+//!
+//! Usage: `cargo run --release -p bench --bin ssr-trace --
+//! <trace.jsonl> [--check]`
+
+use std::process::ExitCode;
+
+use telemetry::schema::{parse_line, validate, Value};
+use telemetry::HistogramSnapshot;
+
+fn main() -> ExitCode {
+    let mut path: Option<String> = None;
+    let mut check = false;
+    for arg in std::env::args().skip(1) {
+        if arg == "--check" {
+            check = true;
+        } else if arg.starts_with("--") {
+            eprintln!("unknown flag {arg}");
+            eprintln!("usage: ssr-trace <trace.jsonl> [--check]");
+            return ExitCode::FAILURE;
+        } else {
+            path = Some(arg);
+        }
+    }
+    let Some(path) = path else {
+        eprintln!("usage: ssr-trace <trace.jsonl> [--check]");
+        return ExitCode::FAILURE;
+    };
+    let text = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let summary = match validate(&text) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("{path}: INVALID — {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    if check {
+        println!(
+            "ok: {path} — schema v{}, {} events ({} dropped), {} fault(s)",
+            summary.version,
+            summary.events,
+            summary.dropped,
+            summary.faults.len()
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    println!("{path}: schema v{} — valid", summary.version);
+    println!(
+        "events: {} recorded in trace, {} surviving header count, {} overwritten (ring drops)",
+        summary.events, summary.header_events, summary.dropped
+    );
+    if let Some((lo, hi)) = summary.t_range {
+        println!("time range: interactions {lo} ..= {hi}");
+    }
+    if !summary.by_kind.is_empty() {
+        println!("by kind:");
+        for (kind, count) in &summary.by_kind {
+            println!("  {kind:<13} {count}");
+        }
+    }
+    if !summary.faults.is_empty() {
+        println!("faults:");
+        for (t, name) in &summary.faults {
+            println!("  t={t:<12} {}", name.as_deref().unwrap_or("(unnamed)"));
+        }
+    }
+
+    // The validator has already accepted every line, so the metric and
+    // histogram lines re-parse infallibly here.
+    for line in text.lines().filter(|l| !l.trim().is_empty()) {
+        let Ok(map) = parse_line(line) else { continue };
+        match map.get("kind").and_then(Value::as_str) {
+            Some("metric") => {
+                let name = map["name"].as_str().unwrap_or("?");
+                let value = map["value"].as_u64().unwrap_or(0);
+                println!("metric {name:<24} {value}");
+            }
+            Some("histogram") => {
+                let name = map["name"].as_str().unwrap_or("?").to_string();
+                let count = map["count"].as_u64().unwrap_or(0);
+                let sum = map["sum"].as_u64().unwrap_or(0);
+                let buckets: Vec<(u32, u64)> = match map.get("buckets") {
+                    Some(Value::Arr(items)) => items
+                        .iter()
+                        .filter_map(|pair| match pair {
+                            Value::Arr(kv) if kv.len() == 2 => {
+                                Some((kv[0].as_u64()? as u32, kv[1].as_u64()?))
+                            }
+                            _ => None,
+                        })
+                        .collect(),
+                    _ => Vec::new(),
+                };
+                // `HistogramSnapshot::name` is `&'static str` (it names
+                // registry cells); a short-lived CLI can afford to leak
+                // the few parsed names to reuse its ASCII renderer.
+                let snap = HistogramSnapshot {
+                    name: Box::leak(name.into_boxed_str()),
+                    count,
+                    sum,
+                    buckets,
+                };
+                println!("histogram {} (count {count}, sum {sum}):", snap.name);
+                print!("{}", snap.render_ascii());
+            }
+            _ => {}
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -46,6 +46,23 @@ impl Args {
     pub fn flag(&self, name: &str) -> bool {
         self.flags.iter().any(|f| f == name)
     }
+
+    /// Every `key=value` pair, sorted by key — stable input for run
+    /// manifests.
+    pub fn entries(&self) -> Vec<(String, String)> {
+        let mut out: Vec<(String, String)> = self
+            .values
+            .iter()
+            .map(|(k, v)| (k.clone(), v.clone()))
+            .collect();
+        out.sort();
+        out
+    }
+
+    /// Every bare `--flag`, in the order given.
+    pub fn flags(&self) -> &[String] {
+        &self.flags
+    }
 }
 
 #[cfg(test)]

@@ -15,6 +15,8 @@
 //!   humans or as CSV under `--csv`; [`Experiment::write_json`] persists
 //!   structured results (default path overridable with `out=`).
 
+use telemetry::RunManifest;
+
 use crate::cli::Args;
 use crate::json::{self, Json};
 use crate::table::Table;
@@ -104,9 +106,53 @@ impl Experiment {
         }
     }
 
+    /// The run-provenance manifest for this invocation: experiment
+    /// name, the parsed CLI arguments and flags, git revision, rustc
+    /// version, host cores, and capture time (each environment probe
+    /// degrading to `"unknown"` when unavailable).
+    pub fn manifest(&self) -> RunManifest {
+        RunManifest::capture(&self.name)
+            .with_args(self.args.entries())
+            .with_flags(self.args.flags().iter().cloned())
+    }
+
+    /// Render a [`RunManifest`] as a JSON object (the `manifest` block
+    /// of every artifact envelope).
+    pub fn manifest_json(manifest: &RunManifest) -> Json {
+        Json::obj([
+            ("experiment", manifest.experiment.as_str().into()),
+            (
+                "args",
+                Json::Obj(
+                    manifest
+                        .args
+                        .iter()
+                        .map(|(k, v)| (k.clone(), Json::Str(v.clone())))
+                        .collect(),
+                ),
+            ),
+            (
+                "flags",
+                Json::Arr(
+                    manifest
+                        .flags
+                        .iter()
+                        .map(|f| Json::Str(f.clone()))
+                        .collect(),
+                ),
+            ),
+            ("git_rev", manifest.git_rev.as_str().into()),
+            ("rustc", manifest.rustc.as_str().into()),
+            ("host_cores", manifest.host_cores.into()),
+            ("unix_time_s", manifest.unix_time_s.into()),
+            ("schema_version", manifest.schema_version.into()),
+        ])
+    }
+
     /// Write a JSON artifact to `default_path` (overridable with
     /// `out=`), pretty-printed, wrapped in an envelope recording the
-    /// experiment name.
+    /// experiment name and a run-provenance [`RunManifest`]
+    /// (arguments, git revision, rustc, host cores, capture time).
     ///
     /// # Panics
     ///
@@ -116,6 +162,7 @@ impl Experiment {
         let path = self.args.get_str("out").unwrap_or(default_path).to_string();
         let envelope = Json::obj([
             ("experiment", self.name.as_str().into()),
+            ("manifest", Self::manifest_json(&self.manifest())),
             ("results", payload),
         ]);
         std::fs::write(&path, json::pretty(&envelope))
@@ -170,6 +217,22 @@ mod tests {
     fn sims_reads_argument_with_default() {
         assert_eq!(exp(&[]).sims(25), 25);
         assert_eq!(exp(&["sims=4"]).sims(25), 4);
+    }
+
+    #[test]
+    fn manifest_carries_sorted_cli_args_and_flags() {
+        let e = exp(&["n=8", "--full", "a=1"]);
+        let m = e.manifest();
+        assert_eq!(m.experiment, "demo");
+        assert_eq!(
+            m.args,
+            vec![("a".into(), "1".into()), ("n".into(), "8".into())]
+        );
+        assert_eq!(m.flags, ["full"]);
+        let j = Experiment::manifest_json(&m).to_string();
+        assert!(j.contains("\"git_rev\""), "{j}");
+        assert!(j.contains("\"schema_version\""), "{j}");
+        assert!(j.contains("\"args\":{\"a\":\"1\",\"n\":\"8\"}"), "{j}");
     }
 
     #[test]

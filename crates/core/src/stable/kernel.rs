@@ -78,8 +78,6 @@
 //! `tests/packed_equivalence.rs` (random runs, block boundaries,
 //! repeated-agent blocks, faulted and sharded runs).
 
-use std::sync::atomic::Ordering;
-
 use population::schedule::Pair;
 use population::{pair_mut, BatchedProtocol, PackedProtocol};
 
@@ -213,14 +211,15 @@ impl BatchedProtocol for StableRanking {
             changed += u64::from((u.0 != pu) | (v.0 != pv));
         }
 
-        // Flush the locally accumulated instrumentation: one relaxed
-        // RMW per counter per block instead of one per event.
+        // Flush the locally accumulated instrumentation to the metrics
+        // registry: one relaxed RMW per counter per block instead of
+        // one per event.
         if resets > 0 {
-            self.reset_events.fetch_add(resets, Ordering::Relaxed);
+            self.metrics.resets.add(resets);
         }
-        for (hits, count) in self.class_hits.iter().zip(mix) {
+        for (hits, count) in self.metrics.classes.iter().zip(mix) {
             if count > 0 {
-                hits.fetch_add(count, Ordering::Relaxed);
+                hits.add(count);
             }
         }
         changed

@@ -23,8 +23,6 @@ pub mod reset;
 pub mod state;
 pub mod tables;
 
-use std::sync::atomic::{AtomicU64, Ordering};
-
 use leader_election::fast::{FastLe, FastLeEffect};
 use population::{PackedProtocol, Protocol};
 use rand::rngs::SmallRng;
@@ -36,6 +34,7 @@ use crate::stable::packed::{A_SHIFT, COIN_BIT, TAG_ELECT, TAG_MASK, TAG_RESET};
 use crate::stable::ranking_plus::{ranking_plus_step, ranking_plus_step_packed, RpCtx};
 use crate::stable::state::{MainKind, UnRole, UnState};
 use crate::stable::tables::StepTables;
+use telemetry::{Counter, Registry};
 
 pub use crate::stable::packed::PackedState;
 pub use crate::stable::state::StableState;
@@ -43,29 +42,67 @@ pub use crate::stable::state::StableState;
 /// The self-stabilizing ranking protocol of Theorem 2.
 ///
 /// The value is `Sync`: all transition state (`Params`, `FSeq`,
-/// [`StepTables`]) is immutable after construction, and the reset-event
-/// instrumentation is a relaxed [`AtomicU64`], so one protocol value can
+/// [`StepTables`]) is immutable after construction, and the
+/// instrumentation lives in relaxed-atomic counters on the protocol's
+/// [metrics registry](StableRanking::metrics), so one protocol value can
 /// drive a sharded multi-threaded run (`crates/shard`) without locking.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct StableRanking {
     params: Params,
     fseq: FSeq,
     fast: FastLe,
     tables: StepTables,
-    reset_events: AtomicU64,
-    class_hits: [AtomicU64; 4],
+    metrics: Metrics,
 }
 
-impl Clone for StableRanking {
-    fn clone(&self) -> Self {
+/// Names of the four dispatch-mix counters on the metrics registry,
+/// indexed like [`StableRanking::dispatch_mix`]:
+/// `[reset-involved, both-electing, one-electing, main/main]`.
+pub const DISPATCH_COUNTERS: [&str; 4] = [
+    "dispatch_reset",
+    "dispatch_both_elect",
+    "dispatch_one_elect",
+    "dispatch_main_main",
+];
+
+/// Name of the reset-event counter on the metrics registry.
+pub const RESETS_COUNTER: &str = "resets_triggered";
+
+/// The protocol's slice of the unified metrics registry: the reset-event
+/// counter and the kernel's dispatch-mix counters, with the hot-path
+/// handles the transition code updates through.
+#[derive(Debug)]
+struct Metrics {
+    registry: Registry,
+    resets: Counter,
+    classes: [Counter; 4],
+}
+
+impl Metrics {
+    fn new() -> Self {
+        let mut registry = Registry::new();
+        let resets = registry.counter(RESETS_COUNTER);
+        let classes = DISPATCH_COUNTERS.map(|name| registry.counter(name));
         Self {
-            params: self.params.clone(),
-            fseq: self.fseq.clone(),
-            fast: self.fast,
-            tables: self.tables.clone(),
-            reset_events: AtomicU64::new(self.resets_triggered()),
-            class_hits: self.dispatch_mix().map(AtomicU64::new),
+            registry,
+            resets,
+            classes,
         }
+    }
+}
+
+impl Clone for Metrics {
+    /// Cloning snapshots the counter *values* into a fresh registry:
+    /// cloned protocol values count independently (the kernel's
+    /// differential tests rely on this), matching the semantics of the
+    /// per-value `AtomicU64` fields the registry replaced.
+    fn clone(&self) -> Self {
+        let fresh = Metrics::new();
+        fresh.resets.add(self.resets.get());
+        for (new, old) in fresh.classes.iter().zip(&self.classes) {
+            new.add(old.get());
+        }
+        fresh
     }
 }
 
@@ -97,8 +134,7 @@ impl StableRanking {
             fseq,
             fast,
             tables,
-            reset_events: AtomicU64::new(0),
-            class_hits: Default::default(),
+            metrics: Metrics::new(),
         }
     }
 
@@ -123,12 +159,13 @@ impl StableRanking {
     }
 
     /// Number of resets triggered so far across all interactions executed
-    /// through this protocol value (experiment instrumentation). In a
-    /// sharded run the counter aggregates across threads (relaxed
-    /// ordering: the total is exact once the run has joined, but
-    /// mid-run reads may lag).
+    /// through this protocol value (experiment instrumentation) — a view
+    /// of the [`RESETS_COUNTER`] counter on the
+    /// [metrics registry](StableRanking::metrics). In a sharded run the
+    /// counter aggregates across threads (relaxed ordering: the total is
+    /// exact once the run has joined, but mid-run reads may lag).
     pub fn resets_triggered(&self) -> u64 {
-        self.reset_events.load(Ordering::Relaxed)
+        self.metrics.resets.get()
     }
 
     /// Per-class interaction counts executed through the block kernel's
@@ -143,9 +180,20 @@ impl StableRanking {
     /// kernel throughput: a perf regression that coincides with a mix
     /// shift is a workload change, not a kernel change. Same relaxed
     /// aggregation semantics as
-    /// [`resets_triggered`](StableRanking::resets_triggered).
+    /// [`resets_triggered`](StableRanking::resets_triggered); a view of
+    /// the [`DISPATCH_COUNTERS`] counters on the
+    /// [metrics registry](StableRanking::metrics).
     pub fn dispatch_mix(&self) -> [u64; 4] {
-        [0, 1, 2, 3].map(|c| self.class_hits[c].load(Ordering::Relaxed))
+        [0, 1, 2, 3].map(|c| self.metrics.classes[c].get())
+    }
+
+    /// The protocol's metrics registry: the single source of truth for
+    /// its instrumentation ([`RESETS_COUNTER`], [`DISPATCH_COUNTERS`]),
+    /// enumerable for trace emission alongside a `Recorder`'s own
+    /// registry. Cloned protocol values get a fresh registry seeded with
+    /// the current values (independent counting, see `Metrics::clone`).
+    pub fn metrics(&self) -> &Registry {
+        &self.metrics.registry
     }
 
     fn elect_state(&self, coin: bool) -> StableState {
@@ -302,7 +350,7 @@ impl StableRanking {
     }
 
     fn count_reset(&self) {
-        self.reset_events.fetch_add(1, Ordering::Relaxed);
+        self.metrics.resets.inc();
     }
 }
 

@@ -46,6 +46,7 @@
 
 use leader_election::fast::FastLeState;
 use population::RankOutput;
+use telemetry::{AgentClass, TraceState};
 
 use crate::stable::state::{MainKind, StableState, UnRole, UnState};
 
@@ -301,6 +302,24 @@ impl RankOutput for PackedState {
     }
 }
 
+/// Classification straight off the word's tag bits — no unpack, so a
+/// flight recorder can diff packed lanes at block boundaries for the
+/// cost of a few mask tests per agent. Must agree with `StableState`'s
+/// implementation through the codec (pinned by a unit test below).
+impl TraceState for PackedState {
+    #[inline]
+    fn agent_class(&self) -> AgentClass {
+        match self.tag() {
+            TAG_RANKED => AgentClass::Ranked(self.rank_value()),
+            TAG_RESET => AgentClass::Resetting,
+            TAG_ELECT => AgentClass::Electing,
+            TAG_WAITING => AgentClass::Waiting,
+            TAG_PHASE => AgentClass::Phase(self.lane_b()),
+            tag => unreachable!("invalid packed tag {tag}"),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -364,6 +383,52 @@ mod tests {
             role: UnRole::Elect(fast.initial_state()),
         });
         assert_eq!(PackedState::pack(&init).unpack(), init);
+    }
+
+    #[test]
+    fn agent_class_agrees_with_the_enum_through_the_codec() {
+        let states = [
+            StableState::Ranked(1),
+            StableState::Ranked(1 << 30),
+            StableState::Un(UnState {
+                coin: true,
+                role: UnRole::Reset {
+                    reset_count: 3,
+                    delay_count: 9,
+                },
+            }),
+            StableState::Un(UnState {
+                coin: false,
+                role: UnRole::Elect(FastLeState {
+                    le_count: 13,
+                    coin_count: 2,
+                    leader_done: true,
+                    is_leader: true,
+                }),
+            }),
+            StableState::Un(UnState {
+                coin: true,
+                role: UnRole::Main {
+                    alive: 5,
+                    kind: MainKind::Waiting(2),
+                },
+            }),
+            StableState::Un(UnState {
+                coin: false,
+                role: UnRole::Main {
+                    alive: 5,
+                    kind: MainKind::Phase(4),
+                },
+            }),
+        ];
+        for s in states {
+            assert_eq!(
+                PackedState::pack(&s).agent_class(),
+                s.agent_class(),
+                "codec changed the trace class of {s:?}"
+            );
+        }
+        assert_eq!(PackedState::ranked(7).agent_class(), AgentClass::Ranked(7));
     }
 
     #[test]

@@ -13,6 +13,7 @@
 
 use leader_election::fast::FastLeState;
 use population::RankOutput;
+use telemetry::{AgentClass, TraceState};
 
 use crate::params::Params;
 
@@ -236,6 +237,26 @@ impl RankOutput for StableState {
         match self {
             StableState::Ranked(r) => Some(*r),
             StableState::Un(_) => None,
+        }
+    }
+}
+
+impl TraceState for StableState {
+    fn agent_class(&self) -> AgentClass {
+        match self {
+            StableState::Ranked(r) => AgentClass::Ranked(*r),
+            StableState::Un(UnState { role, .. }) => match role {
+                UnRole::Reset { .. } => AgentClass::Resetting,
+                UnRole::Elect(_) => AgentClass::Electing,
+                UnRole::Main {
+                    kind: MainKind::Waiting(_),
+                    ..
+                } => AgentClass::Waiting,
+                UnRole::Main {
+                    kind: MainKind::Phase(k),
+                    ..
+                } => AgentClass::Phase(*k),
+            },
         }
     }
 }

@@ -43,6 +43,11 @@
 //!   all observers, and tuples of observers compose. The entry point is
 //!   [`Simulator::run_observed`]; [`Simulator::run_until`] and
 //!   [`Simulator::run_sampled`] are sugar for the two most common cases.
+//!   Orthogonal to observers, the [`Probe`] seam lets a flight recorder
+//!   watch runs at block, exchange, checkpoint, and fault boundaries
+//!   through the `*_probed` run paths — read-only by construction, and
+//!   compiled out entirely for [`NullProbe`] (the `telemetry` crate's
+//!   `Recorder` is the canonical recording probe).
 //!
 //! * **State representation** — protocols whose state space fits in a
 //!   machine word implement [`PackedProtocol`] (a lossless codec plus a
@@ -129,6 +134,7 @@
 #![warn(missing_docs)]
 
 mod pairs;
+mod probe;
 mod protocol;
 mod sim;
 
@@ -143,6 +149,7 @@ pub use observe::{
     Control, HonestRanking, Observer, ShardObserver, ShardedRanking, ShardedSilence,
 };
 pub use pairs::pair_mut;
+pub use probe::{NullProbe, Probe};
 pub use protocol::{
     BatchedProtocol, HonestOutput, Packed, PackedProtocol, Protocol, RankOutput, ScalarBlock,
 };

@@ -1,0 +1,177 @@
+//! The instrumentation seam: a read-only [`Probe`] the probed run paths
+//! ([`Simulator::run_probed`](crate::Simulator::run_probed) and friends,
+//! plus the `shard` crate's probed engine) invoke at block, exchange,
+//! checkpoint, and fault boundaries.
+//!
+//! # Zero cost when disabled
+//!
+//! Probes are a compile-time seam, not a runtime one: the probed run
+//! paths are generic over the probe type and check the associated
+//! constant [`Probe::ACTIVE`] first. For [`NullProbe`] (`ACTIVE =
+//! false`) they immediately delegate to the *unprobed* twin
+//! (`run_batched`, `run_faulted`, …), so a `NullProbe` run executes
+//! exactly today's hot-loop code — the same machine code, not merely
+//! equivalent code. The CI throughput smoke guards this contract with a
+//! paired A/B measurement (`probe_floor`, default `0.95×`).
+//!
+//! # Read-only by contract
+//!
+//! Probes receive `&`-references to the protocol and configuration and
+//! can therefore never perturb a trajectory: a probed run is bit-for-bit
+//! identical to its unprobed twin under the same seed, whatever the
+//! probe records (property-tested in `tests/telemetry_inert.rs` at the
+//! workspace root). The canonical recording implementation is the
+//! `telemetry` crate's `Recorder`; this module deliberately contains no
+//! recording machinery so the engine keeps zero telemetry dependencies.
+
+use crate::protocol::Protocol;
+
+/// Observation hooks invoked by the probed run paths at the engine's
+/// natural boundaries. All hooks are read-only: a probe can never change
+/// what the engine computes, only record it.
+///
+/// Every method has a default empty body, so an implementation only
+/// overrides the boundaries it cares about. Implementations that record
+/// nothing at all should set [`ACTIVE`](Probe::ACTIVE) to `false` (as
+/// [`NullProbe`] does) so the engine can statically skip probed
+/// bookkeeping and run the unprobed hot path.
+pub trait Probe<P: Protocol> {
+    /// Whether this probe observes anything. When `false`, probed run
+    /// paths delegate to their unprobed twins and none of the methods
+    /// below are ever called. This is an associated *constant* so the
+    /// check monomorphizes away.
+    const ACTIVE: bool = true;
+
+    /// A schedule block finished executing. `t` is the engine's
+    /// interaction count *after* the block, `changed` the number of
+    /// state-changing interactions the block reported (0 where the
+    /// execution path does not track it), `shard` the shard index (0 on
+    /// the sequential engine), `start` the global index of `lane[0]`,
+    /// and `lane` the shard's slice of the configuration after the
+    /// block. Event granularity is therefore the block: probes see
+    /// configurations at block boundaries, mirroring the observer
+    /// pipeline's `check_every` overshoot convention.
+    fn block(
+        &mut self,
+        protocol: &P,
+        t: u64,
+        changed: u64,
+        shard: usize,
+        start: usize,
+        lane: &[P::State],
+    ) {
+        let _ = (protocol, t, changed, shard, start, lane);
+    }
+
+    /// The sharded engine finished the exchange rounds of a block:
+    /// `pairs` cross-shard boundary pairs were executed at interaction
+    /// count `t`. Never called by the sequential engine.
+    fn exchange(&mut self, protocol: &P, t: u64, pairs: u64) {
+        let _ = (protocol, t, pairs);
+    }
+
+    /// An observer checkpoint was polled at interaction count `t`;
+    /// `stopping` reports whether the run is about to stop there.
+    fn checkpoint(&mut self, protocol: &P, t: u64, stopping: bool) {
+        let _ = (protocol, t, stopping);
+    }
+
+    /// A [`FaultHook`](crate::FaultHook) fired at interaction count `t`;
+    /// `states` is the full configuration *after* the mutation. Probes
+    /// that diff configurations should re-baseline here so fault damage
+    /// is attributed to the fault, not misread as protocol activity.
+    fn fault(&mut self, protocol: &P, t: u64, states: &[P::State]) {
+        let _ = (protocol, t, states);
+    }
+}
+
+/// The disabled probe: observes nothing, costs nothing.
+///
+/// `ACTIVE = false` makes every probed run path delegate to its
+/// unprobed twin before entering the loop, so `run_probed(count, &mut
+/// NullProbe)` *is* `run_batched(count)` — the identical code path, not
+/// an instrumented loop with no-op calls.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullProbe;
+
+impl<P: Protocol> Probe<P> for NullProbe {
+    const ACTIVE: bool = false;
+}
+
+/// Forwarding impl so engines can be handed `&mut probe` through
+/// arbitrarily many call layers.
+impl<P: Protocol, B: Probe<P>> Probe<P> for &mut B {
+    const ACTIVE: bool = B::ACTIVE;
+
+    fn block(
+        &mut self,
+        protocol: &P,
+        t: u64,
+        changed: u64,
+        shard: usize,
+        start: usize,
+        lane: &[P::State],
+    ) {
+        (**self).block(protocol, t, changed, shard, start, lane);
+    }
+
+    fn exchange(&mut self, protocol: &P, t: u64, pairs: u64) {
+        (**self).exchange(protocol, t, pairs);
+    }
+
+    fn checkpoint(&mut self, protocol: &P, t: u64, stopping: bool) {
+        (**self).checkpoint(protocol, t, stopping);
+    }
+
+    fn fault(&mut self, protocol: &P, t: u64, states: &[P::State]) {
+        (**self).fault(protocol, t, states);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Noop;
+    impl Protocol for Noop {
+        type State = u8;
+        fn n(&self) -> usize {
+            4
+        }
+        fn transition(&self, _: &mut u8, _: &mut u8) -> bool {
+            false
+        }
+    }
+
+    /// A probe that logs which hooks ran, for testing the forwarding impl.
+    #[derive(Default)]
+    struct Log(Vec<&'static str>);
+    impl Probe<Noop> for Log {
+        fn block(&mut self, _: &Noop, _: u64, _: u64, _: usize, _: usize, _: &[u8]) {
+            self.0.push("block");
+        }
+        fn fault(&mut self, _: &Noop, _: u64, _: &[u8]) {
+            self.0.push("fault");
+        }
+    }
+
+    #[test]
+    fn null_probe_is_inactive() {
+        const { assert!(!<NullProbe as Probe<Noop>>::ACTIVE) };
+        // Calling the hooks anyway must be harmless.
+        let mut p = NullProbe;
+        Probe::<Noop>::block(&mut p, &Noop, 0, 0, 0, 0, &[]);
+        Probe::<Noop>::checkpoint(&mut p, &Noop, 0, true);
+    }
+
+    #[test]
+    fn mut_ref_forwards_activity_and_calls() {
+        const { assert!(<&mut Log as Probe<Noop>>::ACTIVE) };
+        let mut log = Log::default();
+        let mut fwd = &mut log;
+        Probe::<Noop>::block(&mut fwd, &Noop, 1, 0, 0, 0, &[]);
+        Probe::<Noop>::exchange(&mut fwd, &Noop, 1, 0); // default body
+        Probe::<Noop>::fault(&mut fwd, &Noop, 2, &[]);
+        assert_eq!(log.0, ["block", "fault"]);
+    }
+}

@@ -1,5 +1,6 @@
 use crate::observe::{Convergence, Observer, Sampler};
 use crate::pairs::pair_mut;
+use crate::probe::Probe;
 use crate::protocol::{BatchedProtocol, Packed, Protocol};
 use crate::schedule::{PairSource, Schedule, BLOCK_PAIRS};
 
@@ -277,6 +278,39 @@ impl<P: Protocol, S: PairSource> Simulator<P, S> {
         self.run_batched(count);
     }
 
+    /// [`run_batched`](Simulator::run_batched) with an instrumentation
+    /// [`Probe`] invoked after every executed block.
+    ///
+    /// Trajectory-inert: probes only ever see `&`-references, so the
+    /// final configuration and interaction count are bit-for-bit those
+    /// of `run_batched` under the same seed, whatever the probe records.
+    /// For an inactive probe ([`Probe::ACTIVE`]` == false`, e.g.
+    /// [`NullProbe`](crate::NullProbe)) this method *delegates* to
+    /// `run_batched` before entering the loop — the untraced path is the
+    /// identical machine code, not an instrumented loop of no-ops.
+    pub fn run_probed<B: Probe<P>>(&mut self, count: u64, probe: &mut B) {
+        if !B::ACTIVE {
+            return self.run_batched(count);
+        }
+        let mut remaining = count;
+        while remaining > 0 {
+            let want = remaining.min(BLOCK_PAIRS as u64) as usize;
+            let block = self.schedule.sample_block(want);
+            let changed = self.protocol.transition_block(&mut self.states, block);
+            let executed = block.len() as u64;
+            self.interactions += executed;
+            remaining -= executed;
+            probe.block(
+                &self.protocol,
+                self.interactions,
+                changed,
+                0,
+                0,
+                &self.states,
+            );
+        }
+    }
+
     /// Drive the simulation under an [`Observer`]: the observer is
     /// polled once before the first step and then every `check_every`
     /// interactions, until it stops the run or `max_interactions` have
@@ -306,6 +340,50 @@ impl<P: Protocol, S: PairSource> Simulator<P, S> {
                 .observe(&self.protocol, self.interactions, &self.states)
                 .is_stop()
             {
+                return StopReason::Converged(self.interactions);
+            }
+        }
+        StopReason::BudgetExhausted
+    }
+
+    /// [`run_observed`](Simulator::run_observed) with an
+    /// instrumentation [`Probe`]: bursts run through
+    /// [`run_probed`](Simulator::run_probed), and the probe's
+    /// [`checkpoint`](Probe::checkpoint) hook fires at every observer
+    /// poll (with `stopping` reporting the observer's verdict).
+    /// Delegates to `run_observed` for inactive probes; trajectory-inert
+    /// otherwise, exactly like `run_probed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `check_every == 0`.
+    pub fn run_observed_probed<O: Observer<P>, B: Probe<P>>(
+        &mut self,
+        max_interactions: u64,
+        check_every: u64,
+        observer: &mut O,
+        probe: &mut B,
+    ) -> StopReason {
+        if !B::ACTIVE {
+            return self.run_observed(max_interactions, check_every, observer);
+        }
+        assert!(check_every > 0, "check_every must be positive");
+        let stop = observer
+            .observe(&self.protocol, self.interactions, &self.states)
+            .is_stop();
+        probe.checkpoint(&self.protocol, self.interactions, stop);
+        if stop {
+            return StopReason::Converged(self.interactions);
+        }
+        let deadline = self.interactions + max_interactions;
+        while self.interactions < deadline {
+            let burst = check_every.min(deadline - self.interactions);
+            self.run_probed(burst, probe);
+            let stop = observer
+                .observe(&self.protocol, self.interactions, &self.states)
+                .is_stop();
+            probe.checkpoint(&self.protocol, self.interactions, stop);
+            if stop {
                 return StopReason::Converged(self.interactions);
             }
         }
@@ -385,6 +463,42 @@ impl<P: Protocol, S: PairSource> Simulator<P, S> {
                 _ => deadline,
             };
             self.run_batched(stop - self.interactions);
+        }
+    }
+
+    /// [`run_faulted`](Simulator::run_faulted) with an instrumentation
+    /// [`Probe`]: bursts run through
+    /// [`run_probed`](Simulator::run_probed), and the probe's
+    /// [`fault`](Probe::fault) hook fires after every hook firing with
+    /// the post-mutation configuration. Delegates to `run_faulted` for
+    /// inactive probes; trajectory-inert otherwise (the same fire
+    /// points, the same pair stream).
+    pub fn run_faulted_probed<H: FaultHook<P>, B: Probe<P>>(
+        &mut self,
+        count: u64,
+        hook: &mut H,
+        probe: &mut B,
+    ) {
+        if !B::ACTIVE {
+            return self.run_faulted(count, hook);
+        }
+        let deadline = self.interactions + count;
+        loop {
+            while hook
+                .next_fire(self.interactions)
+                .is_some_and(|t| t <= self.interactions)
+            {
+                hook.fire(&self.protocol, self.interactions, &mut self.states);
+                probe.fault(&self.protocol, self.interactions, &self.states);
+            }
+            if self.interactions >= deadline {
+                return;
+            }
+            let stop = match hook.next_fire(self.interactions) {
+                Some(t) if t < deadline => t,
+                _ => deadline,
+            };
+            self.run_probed(stop - self.interactions, probe);
         }
     }
 

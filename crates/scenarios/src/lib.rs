@@ -48,7 +48,10 @@
 //!   bench binary (and `BENCH_recovery.json`) is built on, and
 //!   [`recovery::run_recovery_sharded`] is its counterpart over the
 //!   `shard` crate's multi-threaded single-run engine (fault plans fire
-//!   at the same exact interaction counts there).
+//!   at the same exact interaction counts there), and
+//!   [`traced::run_recovery_traced`] is the same driver with a
+//!   [`telemetry::Recorder`] riding the engine's probe seam — a
+//!   structured event trace and metrics alongside the recovery log.
 //!
 //! # Example: inject, recover, measure
 //!
@@ -81,6 +84,7 @@ pub mod ranking_byz;
 pub mod ranking_faults;
 pub mod recovery;
 pub mod sched;
+pub mod traced;
 mod util;
 
 pub use byzantine::{
@@ -90,3 +94,4 @@ pub use byzantine::{
 pub use fault::{DuplicateRank, EraseRank, Fault, FaultPlan, FiredFault, MapStates, StateRewrite};
 pub use recovery::{run_recovery, run_recovery_sharded, Recovery, RecoveryEvent};
 pub use sched::{BiasedSchedule, ClusteredSchedule, RoundRobinSchedule};
+pub use traced::run_recovery_traced;

@@ -1,0 +1,219 @@
+//! Flight-recorded recovery runs: the [`recovery`](crate::recovery)
+//! driver with a [`telemetry::Recorder`] riding the engine's
+//! [`Probe`] seam.
+//!
+//! [`run_recovery_traced`] drives a **packed** simulation (so the block
+//! kernel — the production hot path — is what gets traced) under a
+//! fault plan, producing three artifacts at once:
+//!
+//! * the usual [`Recovery`] event log (fault → re-stabilization
+//!   intervals, exactly as [`run_recovery`](crate::run_recovery)
+//!   computes them);
+//! * the recorder's structured event trace (resets, elections, rank
+//!   claims/releases, fault firings, checkpoints) with injector names
+//!   joined onto the fault events from the plan's firing log;
+//! * the recorder's metric registry (reset-interval and rank-dwell
+//!   histograms, event counters).
+//!
+//! The probe seam is read-only and the probed engine paths delegate to
+//! the unprobed ones under a
+//! [`NullProbe`](population::NullProbe), so a traced run follows the
+//! **bit-for-bit identical trajectory** of the equivalent untraced run
+//! — property-tested in `tests/telemetry_inert.rs` at the workspace
+//! root.
+
+use population::{BatchedProtocol, Observer, Packed, PairSource, Probe, Simulator, UnpackedHook};
+use telemetry::{Recorder, TraceState};
+
+use crate::fault::FaultPlan;
+use crate::recovery::Recovery;
+
+/// Drive a packed simulation for up to `max_interactions` under `plan`,
+/// recording fault → re-stabilization intervals into `recovery` **and**
+/// a structured event trace into `recorder`.
+///
+/// The loop mirrors [`run_recovery`](crate::run_recovery) exactly —
+/// faults fire at their exact scheduled interaction counts, legality is
+/// polled every `check_every` interactions and once up front, and the
+/// run exits early once every fault has recovered and none remain due —
+/// with three additions: bursts go through
+/// [`Simulator::run_faulted_probed`] so the recorder sees every block,
+/// each legality poll is mirrored to the recorder as a
+/// [`Checkpoint`](telemetry::EventKind::Checkpoint) event (its
+/// `stopping` flag marks the final poll), and fired injector names are
+/// joined onto the recorder's fault events after every burst.
+///
+/// # Panics
+///
+/// Panics if `check_every == 0`.
+pub fn run_recovery_traced<P, S, F>(
+    sim: &mut Simulator<Packed<P>, S>,
+    plan: &mut UnpackedHook<FaultPlan<P::State>>,
+    recovery: &mut Recovery<F>,
+    recorder: &mut Recorder,
+    max_interactions: u64,
+    check_every: u64,
+) where
+    P: BatchedProtocol,
+    P::Packed: TraceState,
+    S: PairSource,
+    F: FnMut(&Packed<P>, &[P::Packed]) -> bool,
+{
+    assert!(check_every > 0, "check_every must be positive");
+    let deadline = sim.interactions() + max_interactions;
+    recovery.observe(sim.protocol(), sim.interactions(), sim.states());
+    loop {
+        let t = sim.interactions();
+        if t >= deadline {
+            recorder.checkpoint(sim.protocol(), t, true);
+            return;
+        }
+        let burst = check_every.min(deadline - t);
+        let seen = plan.inner().fired().len();
+        sim.run_faulted_probed(burst, plan, recorder);
+        let fired: Vec<(u64, &'static str)> = plan.inner().fired()[seen..]
+            .iter()
+            .map(|f| (f.at, f.name))
+            .collect();
+        for &(at, name) in &fired {
+            recovery.note_fault(at, name);
+        }
+        recorder.name_faults(fired);
+        recovery.observe(sim.protocol(), sim.interactions(), sim.states());
+        let more_faults_due = plan.inner().peek_next().is_some_and(|t| t <= deadline);
+        let done = recovery.all_recovered() && !more_faults_due;
+        recorder.checkpoint(sim.protocol(), sim.interactions(), done);
+        if done {
+            return;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ranking_faults;
+    use population::is_valid_ranking;
+    use ranking::stable::{PackedState, StableRanking};
+    use ranking::Params;
+    use telemetry::EventKind;
+
+    type PackedLegal = fn(&Packed<StableRanking>, &[PackedState]) -> bool;
+
+    fn traced_run(n: usize, seed: u64) -> (Recovery<PackedLegal>, Recorder, u64) {
+        let protocol = StableRanking::new(Params::new(n));
+        let plan_protocol = protocol.clone();
+        let packed = Packed(protocol);
+        let init = packed.pack_all(&plan_protocol.legal());
+        let mut sim = Simulator::new(packed, init, seed);
+        let mut plan = UnpackedHook::new(
+            FaultPlan::new(seed ^ 0xFA01).once(100, ranking_faults::corrupt(&plan_protocol, 4)),
+        );
+        let legal: PackedLegal = |_, s| is_valid_ranking(s);
+        let mut recovery = Recovery::new(legal);
+        let mut recorder = Recorder::new();
+        run_recovery_traced(
+            &mut sim,
+            &mut plan,
+            &mut recovery,
+            &mut recorder,
+            50_000_000,
+            n as u64,
+        );
+        let t = sim.interactions();
+        (recovery, recorder, t)
+    }
+
+    #[test]
+    fn traced_recovery_records_the_fault_and_the_recovery() {
+        let (recovery, recorder, _) = traced_run(16, 7);
+        assert_eq!(recovery.events().len(), 1);
+        assert!(
+            recovery.events()[0].recovery_interactions().is_some(),
+            "Theorem 2: must recover"
+        );
+        let events = recorder.events();
+        let fault: Vec<_> = events
+            .iter()
+            .filter_map(|e| match e.kind {
+                EventKind::Fault { hit, name } => Some((e.t, hit, name)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(fault.len(), 1);
+        assert_eq!(fault[0].0, 100, "fault event stamped at the fire time");
+        assert_eq!(fault[0].2, Some("corrupt"), "name joined from the plan");
+        // The corruption forces detection → reset: the trace must hold
+        // reset events after the fault, and the final checkpoint stops.
+        assert!(events
+            .iter()
+            .any(|e| e.kind == EventKind::Reset && e.t > 100));
+        let last_checkpoint = events
+            .iter()
+            .filter_map(|e| match e.kind {
+                EventKind::Checkpoint { stopping } => Some(stopping),
+                _ => None,
+            })
+            .next_back();
+        assert_eq!(last_checkpoint, Some(true));
+    }
+
+    #[test]
+    fn traced_trajectory_matches_untraced_run_recovery() {
+        let n = 16;
+        let seed = 11;
+        // Untraced reference over the same packed engine and plan.
+        let protocol = StableRanking::new(Params::new(n));
+        let plan_protocol = protocol.clone();
+        let packed = Packed(protocol);
+        let init = packed.pack_all(&plan_protocol.legal());
+        let mut reference = Simulator::new(packed, init, seed);
+        let mut ref_plan = UnpackedHook::new(
+            FaultPlan::new(seed ^ 0xFA01).once(100, ranking_faults::corrupt(&plan_protocol, 4)),
+        );
+        let mut ref_recovery =
+            Recovery::new(|_: &Packed<StableRanking>, s: &[PackedState]| is_valid_ranking(s));
+        // The untraced drive loop, verbatim: run_faulted bursts between
+        // legality polls, early exit once recovered with no fault due.
+        let check_every = n as u64;
+        let deadline = reference.interactions() + 50_000_000;
+        ref_recovery.observe(
+            reference.protocol(),
+            reference.interactions(),
+            reference.states(),
+        );
+        while reference.interactions() < deadline {
+            let burst = check_every.min(deadline - reference.interactions());
+            let seen = ref_plan.inner().fired().len();
+            reference.run_faulted(burst, &mut ref_plan);
+            for f in ref_plan.inner().fired()[seen..].iter().copied() {
+                ref_recovery.note_fault(f.at, f.name);
+            }
+            ref_recovery.observe(
+                reference.protocol(),
+                reference.interactions(),
+                reference.states(),
+            );
+            let more = ref_plan.inner().peek_next().is_some_and(|t| t <= deadline);
+            if ref_recovery.all_recovered() && !more {
+                break;
+            }
+        }
+
+        let (recovery, _, t) = traced_run(n, seed);
+        assert_eq!(recovery.events(), ref_recovery.events());
+        assert_eq!(t, reference.interactions());
+    }
+
+    #[test]
+    fn recorder_metrics_are_populated_by_a_recovery_run() {
+        let (_, recorder, _) = traced_run(24, 3);
+        let snap = recorder.metrics().snapshot();
+        assert!(recorder.recorded() > 0);
+        assert_eq!(snap.counter("recorder_events"), Some(recorder.recorded()));
+        // A corrupt fault forces at least one reset wave.
+        assert!(snap.counter("recorder_resets").unwrap() > 0);
+        // Ranks were released (on reset) and re-claimed (on recovery).
+        assert!(snap.histogram("rank_dwell").unwrap().count > 0);
+    }
+}

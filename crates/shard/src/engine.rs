@@ -4,7 +4,7 @@ use std::sync::{Barrier, Mutex};
 
 use population::observe::{Convergence, ShardObserver};
 use population::schedule::{Pair, SubSchedule, BLOCK_PAIRS};
-use population::{FaultHook, Observer, PairSource, Protocol, StopReason};
+use population::{FaultHook, Observer, PairSource, Probe, Protocol, StopReason};
 
 use crate::partition::{bounds, rounds, OwnerMap};
 
@@ -126,13 +126,16 @@ fn quota(total: u64, shards: usize, s: usize, rot: usize) -> u64 {
 /// protocol's block kernel) and boundary pairs (deferred into the
 /// outbox). Only this shard's lane is read or written. Deferring a
 /// boundary pair executes nothing, so the draw-order trajectory is
-/// identical to the old pair-at-a-time loop.
+/// identical to the old pair-at-a-time loop. Returns the number of
+/// lane-local interactions that changed at least one state (callers on
+/// the plain hot path discard it; the probed path feeds it to
+/// [`Probe::block`]).
 fn intra_phase<P: Protocol>(
     protocol: &P,
     owners: &OwnerMap,
     slot: &Mutex<Slot<P::State>>,
     quota: u64,
-) {
+) -> u64 {
     let mut guard = slot.lock().expect("shard lane poisoned");
     let Slot {
         start,
@@ -143,6 +146,7 @@ fn intra_phase<P: Protocol>(
     } = &mut *guard;
     let (start, len) = (*start, states.len());
     let mut remaining = quota;
+    let mut changed = 0;
     while remaining > 0 {
         let want = remaining.min(BLOCK_PAIRS as u64) as usize;
         let block = sched.sample_block(want);
@@ -154,10 +158,11 @@ fn intra_phase<P: Protocol>(
                 outbox[owners.owner(j)].push((i, j));
             }
         }
-        protocol.transition_block(states, local);
+        changed += protocol.transition_block(states, local);
         local.clear();
         remaining -= block.len() as u64;
     }
+    changed
 }
 
 /// One exchange match: with both lanes held, apply shard `a`'s deferred
@@ -591,6 +596,108 @@ where
             self.run(burst);
         }
     }
+
+    /// Execute exactly `count` interactions while reporting each block
+    /// to `probe` — the sharded counterpart of
+    /// [`Simulator::run_probed`](population::Simulator::run_probed).
+    ///
+    /// When `B::ACTIVE` is `false` (the [`population::NullProbe`]
+    /// build) this delegates to [`run`](Self::run) immediately, so the
+    /// untraced hot path is exactly today's code. An active probe runs
+    /// the same block sequence single-threaded (the determinism
+    /// contract makes worker count irrelevant to the trajectory): after
+    /// each block's exchange rounds, [`Probe::block`] fires once per
+    /// lane with the lane's intra-phase `changed` count, its global
+    /// `start` offset, and its post-block states, followed by one
+    /// [`Probe::exchange`] carrying the block's boundary-pair count.
+    /// Block timestamps are the interaction count at the end of the
+    /// block.
+    pub fn run_probed<B: Probe<P>>(&mut self, count: u64, probe: &mut B) {
+        if !B::ACTIVE {
+            return self.run(count);
+        }
+        let cap = (self.shards * self.block_pairs) as u64;
+        let mut changed = vec![0u64; self.shards];
+        let mut remaining = count;
+        while remaining > 0 {
+            let total = remaining.min(cap);
+            let rot = (self.interactions % self.shards as u64) as usize;
+            for (s, slot) in self.slots.iter().enumerate() {
+                changed[s] = intra_phase(
+                    &self.protocol,
+                    &self.owners,
+                    slot,
+                    quota(total, self.shards, s, rot),
+                );
+            }
+            let boundary: u64 = self
+                .slots
+                .iter()
+                .map(|slot| {
+                    let guard = slot.lock().expect("shard lane poisoned");
+                    guard.outbox.iter().map(|o| o.len() as u64).sum::<u64>()
+                })
+                .sum();
+            for round in &self.rounds {
+                for &(a, b) in round {
+                    exchange(&self.protocol, &self.slots[a], &self.slots[b], a, b);
+                }
+            }
+            self.interactions += total;
+            remaining -= total;
+            for (s, slot) in self.slots.iter().enumerate() {
+                let guard = slot.lock().expect("shard lane poisoned");
+                probe.block(
+                    &self.protocol,
+                    self.interactions,
+                    changed[s],
+                    s,
+                    guard.start,
+                    &guard.states,
+                );
+            }
+            probe.exchange(&self.protocol, self.interactions, boundary);
+        }
+    }
+
+    /// [`run_faulted`](Self::run_faulted) with a probe seam: blocks are
+    /// split at the exact same fire points, [`Probe::fault`] fires
+    /// after every `hook.fire` with the post-fault concatenated
+    /// configuration, and the bursts in between run through
+    /// [`run_probed`](Self::run_probed). Delegates to
+    /// [`run_faulted`](Self::run_faulted) when `B::ACTIVE` is `false`,
+    /// and follows the identical trajectory when it is not.
+    pub fn run_faulted_probed<H: FaultHook<P>, B: Probe<P>>(
+        &mut self,
+        count: u64,
+        hook: &mut H,
+        probe: &mut B,
+    ) {
+        if !B::ACTIVE {
+            return self.run_faulted(count, hook);
+        }
+        let deadline = self.interactions + count;
+        loop {
+            while hook
+                .next_fire(self.interactions)
+                .is_some_and(|t| t <= self.interactions)
+            {
+                let mut all = self.states();
+                hook.fire(&self.protocol, self.interactions, &mut all);
+                self.scatter(&all);
+                probe.fault(&self.protocol, self.interactions, &all);
+            }
+            if self.interactions >= deadline {
+                return;
+            }
+            let stop = match hook.next_fire(self.interactions) {
+                Some(t) if t < deadline => t,
+                _ => deadline,
+            };
+            let burst = stop - self.interactions;
+            self.run_probed(burst, probe);
+        }
+    }
 }
 
 #[cfg(test)]
@@ -811,6 +918,89 @@ mod tests {
         let mut whole = population::observe::Silence::new();
         let stop_whole = replay.run_observed(100_000, 24, &mut whole);
         assert_eq!(stop_whole.converged_at(), Some(t_merged));
+    }
+
+    /// A probe that tallies its callbacks and remembers the last block
+    /// timestamp per lane.
+    #[derive(Default)]
+    struct Tally {
+        blocks: u64,
+        changed: u64,
+        exchanges: u64,
+        boundary: u64,
+        faults: u64,
+        last_t: u64,
+    }
+
+    impl Probe<Count> for Tally {
+        fn block(
+            &mut self,
+            _p: &Count,
+            t: u64,
+            changed: u64,
+            _shard: usize,
+            _start: usize,
+            _lane: &[(u64, u64)],
+        ) {
+            self.blocks += 1;
+            self.changed += changed;
+            self.last_t = t;
+        }
+        fn exchange(&mut self, _p: &Count, _t: u64, pairs: u64) {
+            self.exchanges += 1;
+            self.boundary += pairs;
+        }
+        fn fault(&mut self, _p: &Count, _t: u64, _states: &[(u64, u64)]) {
+            self.faults += 1;
+        }
+    }
+
+    #[test]
+    fn probed_run_matches_plain_run_and_reports_blocks() {
+        for shards in [1, 3, 4] {
+            let mut plain = ShardedSimulator::new(Count(20), init(20), 13, shards);
+            let mut probed = ShardedSimulator::new(Count(20), init(20), 13, shards);
+            plain.run(25_000);
+            let mut tally = Tally::default();
+            probed.run_probed(25_000, &mut tally);
+            assert_eq!(plain.states(), probed.states(), "shards={shards}");
+            assert_eq!(plain.interactions(), probed.interactions());
+            assert!(tally.blocks >= shards as u64, "one block call per lane");
+            assert_eq!(tally.blocks, tally.exchanges * shards as u64);
+            assert_eq!(tally.last_t, 25_000, "timestamps are block-end counts");
+            // Count's transition always changes both sides; intra-lane
+            // changed counts plus boundary pairs cover every interaction.
+            assert_eq!(tally.changed + tally.boundary, 25_000);
+        }
+    }
+
+    #[test]
+    fn faulted_probed_matches_run_faulted_and_sees_fires() {
+        let mut plain = ShardedSimulator::new(Count(16), init(16), 4, 4);
+        let mut probed = ShardedSimulator::new(Count(16), init(16), 4, 4);
+        let mut hook_a = ZeroAt {
+            times: vec![100, 250],
+            fired: Vec::new(),
+        };
+        let mut hook_b = ZeroAt {
+            times: vec![100, 250],
+            fired: Vec::new(),
+        };
+        plain.run_faulted(1000, &mut hook_a);
+        let mut tally = Tally::default();
+        probed.run_faulted_probed(1000, &mut hook_b, &mut tally);
+        assert_eq!(plain.states(), probed.states());
+        assert_eq!(hook_a.fired, hook_b.fired);
+        assert_eq!(tally.faults, 2);
+    }
+
+    #[test]
+    fn null_probe_run_probed_is_run() {
+        let mut plain = ShardedSimulator::new(Count(16), init(16), 9, 3);
+        let mut probed = ShardedSimulator::new(Count(16), init(16), 9, 3);
+        plain.run(12_345);
+        probed.run_probed(12_345, &mut population::NullProbe);
+        assert_eq!(plain.states(), probed.states());
     }
 
     #[test]

@@ -1,0 +1,145 @@
+//! The structured event vocabulary: what a flight-recorder trace is made
+//! of, and the [`TraceState`] abstraction that lets the [`Recorder`]
+//! derive events from *any* state representation (structured enums and
+//! packed words alike) by diffing per-agent [`AgentClass`]es.
+//!
+//! Events are derived at **block granularity**: the recorder sees
+//! configurations at schedule-block boundaries (the engine's natural
+//! observation points), so an event's timestamp `t` is the interaction
+//! count at the end of the block in which the underlying transition
+//! happened — the same overshoot convention the observer pipeline uses
+//! for convergence times.
+//!
+//! [`Recorder`]: crate::Recorder
+
+/// The trace-visible classification of one agent's state. Deliberately
+/// coarse: just enough structure to derive the event taxonomy, cheap to
+/// compute from a packed word (tag tests), and representation-agnostic
+/// so enum and packed runs produce identical traces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AgentClass {
+    /// Holding the rank carried by the payload.
+    Ranked(u64),
+    /// In the reset protocol (propagating or dormant).
+    Resetting,
+    /// Running the embedded leader-election lottery.
+    Electing,
+    /// Main protocol, waiting room.
+    Waiting,
+    /// Main protocol, counting through phase `k`.
+    Phase(u32),
+}
+
+/// States that can classify themselves for tracing. Implemented by
+/// `StableState` and `PackedState` in the `ranking` crate; any protocol
+/// wanting recorded runs implements this for its state type.
+pub trait TraceState {
+    /// This state's [`AgentClass`].
+    fn agent_class(&self) -> AgentClass;
+}
+
+/// The `agent` field value for population-wide events (faults, exchange
+/// rounds, checkpoints) that are not about any single agent.
+pub const NO_AGENT: u32 = u32::MAX;
+
+/// One recorded event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Event {
+    /// Interaction count at the end of the block where the event was
+    /// observed (block-granular, see the module docs).
+    pub t: u64,
+    /// Shard whose lane produced the event; 0 on the sequential engine.
+    /// Population-wide events record shard 0.
+    pub shard: u32,
+    /// Global agent index, or [`NO_AGENT`] for population-wide events.
+    pub agent: u32,
+    /// What happened.
+    pub kind: EventKind,
+}
+
+/// The event taxonomy (see `docs/OBSERVABILITY.md` for the emission
+/// rules and JSONL field layout of each kind).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// The agent entered the reset protocol.
+    Reset,
+    /// The agent won the leader-election lottery and moved to the main
+    /// protocol's waiting room (electing → waiting).
+    Elected,
+    /// The agent entered counting phase `phase` (from any other class,
+    /// or from a different phase).
+    PhaseEnter {
+        /// The phase being entered.
+        phase: u32,
+    },
+    /// The agent started holding `rank`.
+    RankClaim {
+        /// The rank claimed.
+        rank: u64,
+    },
+    /// The agent stopped holding `rank`.
+    RankRelease {
+        /// The rank released.
+        rank: u64,
+    },
+    /// A fault hook fired; `hit` agents changed class under it. The
+    /// injector name is attached post-hoc (from the fault plan's firing
+    /// log) via `Recorder::name_faults`.
+    Fault {
+        /// Number of agents whose class the fault visibly changed.
+        hit: u32,
+        /// Injector name, once attached.
+        name: Option<&'static str>,
+    },
+    /// The sharded engine ran a block's exchange rounds, executing
+    /// `pairs` cross-shard boundary pairs.
+    Exchange {
+        /// Boundary pairs executed.
+        pairs: u64,
+    },
+    /// An observer checkpoint was polled.
+    Checkpoint {
+        /// Whether the run stopped at this checkpoint.
+        stopping: bool,
+    },
+}
+
+impl EventKind {
+    /// The kind's wire name (the JSONL `kind` field).
+    pub fn name(&self) -> &'static str {
+        match self {
+            EventKind::Reset => "reset",
+            EventKind::Elected => "elected",
+            EventKind::PhaseEnter { .. } => "phase_enter",
+            EventKind::RankClaim { .. } => "rank_claim",
+            EventKind::RankRelease { .. } => "rank_release",
+            EventKind::Fault { .. } => "fault",
+            EventKind::Exchange { .. } => "exchange",
+            EventKind::Checkpoint { .. } => "checkpoint",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_names_are_distinct() {
+        let kinds = [
+            EventKind::Reset,
+            EventKind::Elected,
+            EventKind::PhaseEnter { phase: 1 },
+            EventKind::RankClaim { rank: 1 },
+            EventKind::RankRelease { rank: 1 },
+            EventKind::Fault { hit: 0, name: None },
+            EventKind::Exchange { pairs: 0 },
+            EventKind::Checkpoint { stopping: false },
+        ];
+        let names: Vec<_> = kinds.iter().map(EventKind::name).collect();
+        let mut dedup = names.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), names.len());
+    }
+}

@@ -1,0 +1,456 @@
+//! The canonical recording probe: derives structured events by diffing
+//! per-agent [`AgentClass`]es at block boundaries and stores them in
+//! per-shard ring buffers, while feeding derived statistics
+//! (time-between-reset-waves, per-rank occupancy dwell) into its own
+//! metrics [`Registry`].
+
+use population::{Probe, Protocol};
+
+use crate::event::{AgentClass, Event, EventKind, TraceState, NO_AGENT};
+use crate::metrics::{Counter, Histogram, Registry};
+use crate::ring::RingBuffer;
+
+/// Default per-shard ring capacity (events). At ~40 bytes per event
+/// this bounds a shard's trace memory at ~1.3 MiB.
+pub const DEFAULT_RING_CAPACITY: usize = 1 << 15;
+
+/// A flight recorder implementing the engine's [`Probe`] seam for any
+/// protocol whose state implements [`TraceState`].
+///
+/// # What it records
+///
+/// At every block boundary the recorder classifies the block's lane of
+/// agents and diffs against the previous classification, emitting:
+///
+/// * [`EventKind::Reset`] — an agent entered the reset protocol;
+/// * [`EventKind::Elected`] — electing → waiting (a lottery win);
+/// * [`EventKind::PhaseEnter`] — an agent entered a counting phase;
+/// * [`EventKind::RankClaim`] / [`EventKind::RankRelease`] — rank
+///   occupancy changes (dwell times land in the `rank_dwell` histogram).
+///
+/// Fault firings re-baseline silently (the damage is the fault's, not
+/// the protocol's) and emit one population-wide [`EventKind::Fault`];
+/// exchange rounds and observer checkpoints are recorded as
+/// population-wide events too. The first configuration seen is the
+/// baseline — initial states produce no events.
+///
+/// # Storage discipline
+///
+/// Events land in one fixed-capacity [`RingBuffer`] per shard
+/// (overwrite-oldest, drop-counted — see [`RingBuffer`]); rings are
+/// allocated once per shard on first sight, never in the steady-state
+/// hot loop. Recording never blocks and never grows unboundedly:
+/// long runs keep the newest events per shard and an exact count of
+/// what was overwritten ([`Recorder::dropped`], also emitted in the
+/// trace header).
+#[derive(Debug)]
+pub struct Recorder {
+    capacity: usize,
+    lanes: Vec<RingBuffer<Event>>,
+    /// Per-agent class at the last observed boundary; `None` until the
+    /// agent has been seen once.
+    classes: Vec<Option<AgentClass>>,
+    /// Interaction count at which each agent claimed its current rank
+    /// (meaningful only while its class is `Ranked`).
+    claimed_at: Vec<u64>,
+    /// Timestamp of the last reset wave (distinct reset timestamp).
+    last_reset_wave: Option<u64>,
+    registry: Registry,
+    events_recorded: Counter,
+    resets_observed: Counter,
+    reset_interval: Histogram,
+    rank_dwell: Histogram,
+}
+
+impl Default for Recorder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Recorder {
+    /// A recorder with the default per-shard ring capacity.
+    pub fn new() -> Self {
+        Self::with_capacity(DEFAULT_RING_CAPACITY)
+    }
+
+    /// A recorder whose per-shard rings hold `capacity` events each.
+    pub fn with_capacity(capacity: usize) -> Self {
+        let mut registry = Registry::new();
+        let events_recorded = registry.counter("recorder_events");
+        let resets_observed = registry.counter("recorder_resets");
+        let reset_interval = registry.histogram("reset_interval");
+        let rank_dwell = registry.histogram("rank_dwell");
+        Self {
+            capacity: capacity.max(1),
+            lanes: Vec::new(),
+            classes: Vec::new(),
+            claimed_at: Vec::new(),
+            last_reset_wave: None,
+            registry,
+            events_recorded,
+            resets_observed,
+            reset_interval,
+            rank_dwell,
+        }
+    }
+
+    /// The recorder's metrics registry (`recorder_events`,
+    /// `recorder_resets`, the `reset_interval` and `rank_dwell`
+    /// histograms).
+    pub fn metrics(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// Number of shards that have produced events so far.
+    pub fn lane_count(&self) -> usize {
+        self.lanes.len()
+    }
+
+    /// Total events overwritten across all shard rings.
+    pub fn dropped(&self) -> u64 {
+        self.lanes.iter().map(RingBuffer::dropped).sum()
+    }
+
+    /// Total events recorded (including any since overwritten).
+    pub fn recorded(&self) -> u64 {
+        self.events_recorded.get()
+    }
+
+    /// The surviving events of every shard ring, merged oldest-first
+    /// (stable sort by timestamp, so same-`t` events keep shard order).
+    pub fn events(&self) -> Vec<Event> {
+        let mut all: Vec<Event> = self
+            .lanes
+            .iter()
+            .flat_map(RingBuffer::iter)
+            .copied()
+            .collect();
+        all.sort_by_key(|e| e.t);
+        all
+    }
+
+    /// Attach injector names to recorded [`EventKind::Fault`] events by
+    /// firing time — the post-hoc join with a fault plan's firing log
+    /// (`FaultPlan::fired`), which is where the names live.
+    pub fn name_faults<I: IntoIterator<Item = (u64, &'static str)>>(&mut self, fired: I) {
+        let fired: Vec<(u64, &'static str)> = fired.into_iter().collect();
+        for lane in &mut self.lanes {
+            for ev in lane.iter_mut() {
+                if let EventKind::Fault { hit, name: None } = ev.kind {
+                    if let Some(&(_, n)) = fired.iter().find(|&&(at, _)| at == ev.t) {
+                        ev.kind = EventKind::Fault { hit, name: Some(n) };
+                    }
+                }
+            }
+        }
+    }
+
+    fn push(&mut self, shard: usize, event: Event) {
+        if self.lanes.len() <= shard {
+            let capacity = self.capacity;
+            self.lanes
+                .resize_with(shard + 1, || RingBuffer::new(capacity));
+        }
+        self.lanes[shard].push(event);
+        self.events_recorded.inc();
+    }
+
+    fn note_reset_wave(&mut self, t: u64) {
+        self.resets_observed.inc();
+        match self.last_reset_wave {
+            // Same-timestamp resets are one wave: record the gap only
+            // when the wave's timestamp moves.
+            Some(last) if t == last => {}
+            Some(last) => {
+                self.reset_interval.record(t - last);
+                self.last_reset_wave = Some(t);
+            }
+            None => self.last_reset_wave = Some(t),
+        }
+    }
+
+    /// Diff one lane of agents against the stored baseline, emitting
+    /// events into shard `shard`'s ring. `quiet` suppresses per-agent
+    /// events (fault re-baselining) and returns the number of agents
+    /// whose class changed.
+    fn scan<S: TraceState>(
+        &mut self,
+        t: u64,
+        shard: usize,
+        start: usize,
+        lane: &[S],
+        quiet: bool,
+    ) -> u32 {
+        let end = start + lane.len();
+        if self.classes.len() < end {
+            self.classes.resize(end, None);
+            self.claimed_at.resize(end, 0);
+        }
+        let mut hit = 0u32;
+        for (i, state) in lane.iter().enumerate() {
+            let agent = start + i;
+            let now = state.agent_class();
+            let prev = self.classes[agent];
+            if prev == Some(now) {
+                continue;
+            }
+            self.classes[agent] = Some(now);
+            let Some(prev) = prev else {
+                // First sight: baseline only, the initial configuration
+                // is not an event.
+                if let AgentClass::Ranked(_) = now {
+                    self.claimed_at[agent] = t;
+                }
+                continue;
+            };
+            hit += 1;
+            if quiet {
+                // Fault re-baseline: keep dwell bookkeeping coherent,
+                // emit nothing per-agent.
+                if let AgentClass::Ranked(_) = now {
+                    self.claimed_at[agent] = t;
+                }
+                continue;
+            }
+            let agent32 = agent as u32;
+            if let AgentClass::Ranked(rank) = prev {
+                self.rank_dwell.record(t - self.claimed_at[agent]);
+                self.push(
+                    shard,
+                    Event {
+                        t,
+                        shard: shard as u32,
+                        agent: agent32,
+                        kind: EventKind::RankRelease { rank },
+                    },
+                );
+            }
+            let kind = match now {
+                AgentClass::Resetting => {
+                    self.note_reset_wave(t);
+                    Some(EventKind::Reset)
+                }
+                AgentClass::Waiting if prev == AgentClass::Electing => Some(EventKind::Elected),
+                AgentClass::Phase(phase) => Some(EventKind::PhaseEnter { phase }),
+                AgentClass::Ranked(rank) => {
+                    self.claimed_at[agent] = t;
+                    Some(EventKind::RankClaim { rank })
+                }
+                _ => None,
+            };
+            if let Some(kind) = kind {
+                self.push(
+                    shard,
+                    Event {
+                        t,
+                        shard: shard as u32,
+                        agent: agent32,
+                        kind,
+                    },
+                );
+            }
+        }
+        hit
+    }
+}
+
+impl<P: Protocol> Probe<P> for Recorder
+where
+    P::State: TraceState,
+{
+    fn block(
+        &mut self,
+        _protocol: &P,
+        t: u64,
+        _changed: u64,
+        shard: usize,
+        start: usize,
+        lane: &[P::State],
+    ) {
+        self.scan(t, shard, start, lane, false);
+    }
+
+    fn exchange(&mut self, _protocol: &P, t: u64, pairs: u64) {
+        self.push(
+            0,
+            Event {
+                t,
+                shard: 0,
+                agent: NO_AGENT,
+                kind: EventKind::Exchange { pairs },
+            },
+        );
+    }
+
+    fn checkpoint(&mut self, _protocol: &P, t: u64, stopping: bool) {
+        self.push(
+            0,
+            Event {
+                t,
+                shard: 0,
+                agent: NO_AGENT,
+                kind: EventKind::Checkpoint { stopping },
+            },
+        );
+    }
+
+    fn fault(&mut self, _protocol: &P, t: u64, states: &[P::State]) {
+        let hit = self.scan(t, 0, 0, states, true);
+        self.push(
+            0,
+            Event {
+                t,
+                shard: 0,
+                agent: NO_AGENT,
+                kind: EventKind::Fault { hit, name: None },
+            },
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    impl TraceState for AgentClass {
+        fn agent_class(&self) -> AgentClass {
+            *self
+        }
+    }
+
+    #[test]
+    fn first_sight_is_baseline_not_events() {
+        let mut rec = Recorder::new();
+        let lane = [AgentClass::Electing, AgentClass::Ranked(1)];
+        rec.scan(10, 0, 0, &lane, false);
+        assert!(rec.events().is_empty());
+        assert_eq!(rec.recorded(), 0);
+    }
+
+    #[test]
+    fn diffs_emit_the_taxonomy() {
+        let mut rec = Recorder::new();
+        rec.scan(
+            0,
+            0,
+            0,
+            &[
+                AgentClass::Electing,
+                AgentClass::Electing,
+                AgentClass::Ranked(3),
+            ],
+            false,
+        );
+        rec.scan(
+            100,
+            0,
+            0,
+            &[
+                AgentClass::Waiting,   // elected
+                AgentClass::Resetting, // reset
+                AgentClass::Ranked(5), // release 3, claim 5
+            ],
+            false,
+        );
+        let kinds: Vec<EventKind> = rec.events().iter().map(|e| e.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                EventKind::Elected,
+                EventKind::Reset,
+                EventKind::RankRelease { rank: 3 },
+                EventKind::RankClaim { rank: 5 },
+            ]
+        );
+        assert_eq!(rec.metrics().get("recorder_resets"), Some(1));
+        // Rank 3 was held from baseline (t = 0) to t = 100.
+        let dwell = rec.metrics().snapshot();
+        assert_eq!(dwell.histogram("rank_dwell").unwrap().sum, 100);
+    }
+
+    #[test]
+    fn reset_waves_collapse_equal_timestamps() {
+        let mut rec = Recorder::new();
+        rec.scan(0, 0, 0, &[AgentClass::Waiting; 4], false);
+        rec.scan(50, 0, 0, &[AgentClass::Resetting; 4], false); // one wave
+        rec.scan(50, 0, 0, &[AgentClass::Waiting; 4], false);
+        rec.scan(200, 0, 0, &[AgentClass::Resetting; 4], false); // next wave
+        let snap = rec.metrics().snapshot();
+        let h = snap.histogram("reset_interval").unwrap();
+        assert_eq!(h.count, 1, "two waves, one interval");
+        assert_eq!(h.sum, 150);
+        assert_eq!(rec.metrics().get("recorder_resets"), Some(8));
+    }
+
+    #[test]
+    fn fault_scan_is_quiet_but_counted() {
+        let mut rec = Recorder::new();
+        rec.scan(
+            0,
+            0,
+            0,
+            &[AgentClass::Ranked(1), AgentClass::Ranked(2)],
+            false,
+        );
+        let hit = rec.scan(
+            10,
+            0,
+            0,
+            &[AgentClass::Ranked(1), AgentClass::Resetting],
+            true,
+        );
+        assert_eq!(hit, 1);
+        assert!(rec.events().is_empty(), "quiet scan emits nothing");
+        // The next normal scan diffs against the *post-fault* baseline.
+        rec.scan(
+            20,
+            0,
+            0,
+            &[AgentClass::Ranked(1), AgentClass::Resetting],
+            false,
+        );
+        assert!(rec.events().is_empty());
+    }
+
+    #[test]
+    fn name_faults_joins_by_time() {
+        let mut rec = Recorder::new();
+        rec.push(
+            0,
+            Event {
+                t: 7,
+                shard: 0,
+                agent: NO_AGENT,
+                kind: EventKind::Fault { hit: 3, name: None },
+            },
+        );
+        rec.name_faults([(7, "corrupt"), (9, "churn")]);
+        assert_eq!(
+            rec.events()[0].kind,
+            EventKind::Fault {
+                hit: 3,
+                name: Some("corrupt")
+            }
+        );
+    }
+
+    #[test]
+    fn events_merge_across_lanes_by_time() {
+        let mut rec = Recorder::with_capacity(8);
+        for (shard, t) in [(1usize, 5u64), (0, 3), (1, 9), (0, 7)] {
+            rec.push(
+                shard,
+                Event {
+                    t,
+                    shard: shard as u32,
+                    agent: 0,
+                    kind: EventKind::Reset,
+                },
+            );
+        }
+        let ts: Vec<u64> = rec.events().iter().map(|e| e.t).collect();
+        assert_eq!(ts, [3, 5, 7, 9]);
+        assert_eq!(rec.lane_count(), 2);
+    }
+}

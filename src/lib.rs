@@ -18,6 +18,11 @@
 //!   engine).
 //! * [`shard`] — the sharded multi-threaded single-run simulator
 //!   (per-shard sub-schedules + boundary-pair exchange).
+//! * [`telemetry`] — the flight-recorder observability layer: the
+//!   [`Recorder`](telemetry::Recorder) probe (structured event traces in
+//!   bounded ring buffers), the unified metrics registry
+//!   (counters + log₂ histograms), JSONL trace schema, and run-provenance
+//!   manifests. See `docs/OBSERVABILITY.md`.
 //! * [`analysis`] — statistics and tail-bound helpers used by experiments.
 //!
 //! # Quickstart
@@ -42,3 +47,4 @@ pub use population;
 pub use ranking;
 pub use scenarios;
 pub use shard;
+pub use telemetry;

@@ -412,11 +412,8 @@ fn kernel_transition_block_handles_repeated_agents_like_the_scalar_loop() {
         let mut ref_words = make_words(&reference);
         let mut ref_changed = 0u64;
         for &(i, j) in &pairs {
-            let (u, v) = silent_ranking::population::pair_mut(
-                &mut ref_words,
-                i as usize,
-                j as usize,
-            );
+            let (u, v) =
+                silent_ranking::population::pair_mut(&mut ref_words, i as usize, j as usize);
             ref_changed += u64::from(reference.inner().transition_packed(u, v));
         }
 

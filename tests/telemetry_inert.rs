@@ -1,0 +1,270 @@
+//! Telemetry is **trajectory-inert** (ISSUE 7 acceptance): attaching a
+//! probe — the monomorphized-away `NullProbe` *or* a full `Recorder`
+//! capturing every event — must never change what the engine computes.
+//!
+//! Every probed run path is compared bit-for-bit against its unprobed
+//! twin (same protocol, same seed, same budget): final configuration
+//! and interaction count must match exactly, across
+//!
+//! * the structured enum path (`Simulator<StableRanking>`),
+//! * the packed scalar block loop (`ScalarBlock<Packed<StableRanking>>`),
+//! * the block transition kernel (`Packed<StableRanking>`),
+//! * the sharded engine at 1 and 4 shards, and
+//! * `run_faulted` under **every** canonical injector, on the enum path
+//!   and through `UnpackedHook` on the kernel path.
+//!
+//! Non-vacuousness is checked separately with multi-block budgets (the
+//! property budgets can fit inside a single `BLOCK_PAIRS` scan, where a
+//! recorder legitimately emits nothing but baselines), so "identical"
+//! is not "nothing was traced".
+
+use proptest::prelude::*;
+
+use silent_ranking::population::{NullProbe, Packed, ScalarBlock, Simulator, UnpackedHook};
+use silent_ranking::ranking::stable::{StableRanking, StableState};
+use silent_ranking::ranking::Params;
+use silent_ranking::scenarios::{ranking_faults, FaultPlan};
+use silent_ranking::shard::ShardedSimulator;
+use silent_ranking::telemetry::Recorder;
+
+fn protocol(n: usize) -> StableRanking {
+    StableRanking::new(Params::new(n))
+}
+
+/// Interactions enough to see resets, elections, and rank churn at the
+/// tested sizes without slowing the suite.
+fn budget(n: usize) -> u64 {
+    (n * n * 8) as u64
+}
+
+// ----------------------------------------------------------------------
+// Sequential paths: enum, packed scalar, kernel
+// ----------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 12, ..ProptestConfig::default() })]
+
+    #[test]
+    fn enum_path_is_probe_inert(n in 8usize..40, seed in 0u64..5000) {
+        let init = protocol(n).adversarial_uniform(seed);
+        let mut plain = Simulator::new(protocol(n), init.clone(), seed);
+        let mut nulled = Simulator::new(protocol(n), init.clone(), seed);
+        let mut recorded = Simulator::new(protocol(n), init, seed);
+        let mut recorder = Recorder::new();
+        plain.run_batched(budget(n));
+        nulled.run_probed(budget(n), &mut NullProbe);
+        recorded.run_probed(budget(n), &mut recorder);
+        prop_assert_eq!(nulled.states(), plain.states());
+        prop_assert_eq!(recorded.states(), plain.states());
+        prop_assert_eq!(recorded.interactions(), plain.interactions());
+    }
+
+    #[test]
+    fn packed_scalar_path_is_probe_inert(n in 8usize..40, seed in 0u64..5000) {
+        let make = || {
+            let p = ScalarBlock(Packed(protocol(n)));
+            let init = p.0.pack_all(&protocol(n).adversarial_uniform(seed));
+            Simulator::new(p, init, seed)
+        };
+        let (mut plain, mut recorded) = (make(), make());
+        let mut recorder = Recorder::new();
+        plain.run_batched(budget(n));
+        recorded.run_probed(budget(n), &mut recorder);
+        prop_assert_eq!(recorded.states(), plain.states());
+        prop_assert_eq!(recorded.interactions(), plain.interactions());
+    }
+
+    #[test]
+    fn kernel_path_is_probe_inert(n in 8usize..40, seed in 0u64..5000) {
+        let make = || {
+            let p = Packed(protocol(n));
+            let init = p.pack_all(&protocol(n).adversarial_uniform(seed));
+            Simulator::new(p, init, seed)
+        };
+        let (mut plain, mut nulled, mut recorded) = (make(), make(), make());
+        let mut recorder = Recorder::new();
+        plain.run_batched(budget(n));
+        nulled.run_probed(budget(n), &mut NullProbe);
+        recorded.run_probed(budget(n), &mut recorder);
+        prop_assert_eq!(nulled.states(), plain.states());
+        prop_assert_eq!(recorded.states(), plain.states());
+        prop_assert_eq!(recorded.interactions(), plain.interactions());
+    }
+
+    // ------------------------------------------------------------------
+    // Sharded engine, 1 and 4 shards
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn sharded_paths_are_probe_inert(n in 12usize..40, seed in 0u64..5000) {
+        for shards in [1usize, 4] {
+            let make = || {
+                let p = Packed(protocol(n));
+                let init = p.pack_all(&protocol(n).adversarial_uniform(seed));
+                ShardedSimulator::new(p, init, seed, shards)
+            };
+            let (mut plain, mut nulled, mut recorded) = (make(), make(), make());
+            let mut recorder = Recorder::new();
+            plain.run(budget(n));
+            nulled.run_probed(budget(n), &mut NullProbe);
+            recorded.run_probed(budget(n), &mut recorder);
+            prop_assert_eq!(nulled.states(), plain.states(), "shards={}", shards);
+            prop_assert_eq!(recorded.states(), plain.states(), "shards={}", shards);
+            prop_assert_eq!(recorded.interactions(), plain.interactions());
+        }
+    }
+}
+
+// ----------------------------------------------------------------------
+// Non-vacuousness: with a budget spanning many BLOCK_PAIRS scans, the
+// recorder actually captures events (the property budgets above can fit
+// in one scan, which is baseline-only by design).
+// ----------------------------------------------------------------------
+
+#[test]
+fn recorded_runs_are_not_vacuous_over_multi_block_budgets() {
+    let n = 32;
+    let seed = 3;
+    let budget = 50_000; // >> BLOCK_PAIRS = 4096: many diffing scans
+    let mut kernel = {
+        let p = Packed(protocol(n));
+        let init = p.pack_all(&protocol(n).adversarial_uniform(seed));
+        Simulator::new(p, init, seed)
+    };
+    let mut recorder = Recorder::new();
+    kernel.run_probed(budget, &mut recorder);
+    assert!(recorder.recorded() > 0, "kernel run traced no events");
+
+    let mut sharded = {
+        let p = Packed(protocol(n));
+        let init = p.pack_all(&protocol(n).adversarial_uniform(seed));
+        ShardedSimulator::new(p, init, seed, 4)
+    };
+    let mut recorder = Recorder::new();
+    sharded.run_probed(budget, &mut recorder);
+    assert!(recorder.recorded() > 0, "sharded run traced no events");
+    // Multi-shard recording lands events in per-shard rings.
+    assert!(recorder.lane_count() > 1, "expected multi-lane trace");
+}
+
+// ----------------------------------------------------------------------
+// run_faulted under every canonical injector
+// ----------------------------------------------------------------------
+
+fn faulted_plan(kind: &str, n: usize, seed: u64) -> FaultPlan<StableState> {
+    FaultPlan::new(seed ^ 0xBEEF).once(
+        (n * n) as u64,
+        ranking_faults::standard(kind, &protocol(n), n),
+    )
+}
+
+#[test]
+fn enum_faulted_runs_are_probe_inert_for_every_injector() {
+    let n = 24;
+    for kind in ranking_faults::KINDS {
+        for seed in [1u64, 7] {
+            let init = protocol(n).legal();
+            let mut plain = Simulator::new(protocol(n), init.clone(), seed);
+            let mut recorded = Simulator::new(protocol(n), init, seed);
+            let mut plain_plan = faulted_plan(kind, n, seed);
+            let mut rec_plan = faulted_plan(kind, n, seed);
+            let mut recorder = Recorder::new();
+            plain.run_faulted(budget(n), &mut plain_plan);
+            recorded.run_faulted_probed(budget(n), &mut rec_plan, &mut recorder);
+            assert_eq!(
+                recorded.states(),
+                plain.states(),
+                "enum faulted path diverged ({kind}, seed={seed})"
+            );
+            assert_eq!(plain_plan.fired(), rec_plan.fired());
+            assert!(recorder.recorded() > 0, "{kind}: no events traced");
+        }
+    }
+}
+
+#[test]
+fn kernel_faulted_runs_are_probe_inert_for_every_injector() {
+    let n = 24;
+    for kind in ranking_faults::KINDS {
+        for seed in [2u64, 11] {
+            let make = |plan_seed: u64| {
+                let p = Packed(protocol(n));
+                let init = p.pack_all(&protocol(n).legal());
+                (
+                    Simulator::new(p, init, seed),
+                    UnpackedHook::new(faulted_plan(kind, n, plan_seed)),
+                )
+            };
+            let (mut plain, mut plain_plan) = make(seed);
+            let (mut recorded, mut rec_plan) = make(seed);
+            let mut recorder = Recorder::new();
+            plain.run_faulted(budget(n), &mut plain_plan);
+            recorded.run_faulted_probed(budget(n), &mut rec_plan, &mut recorder);
+            assert_eq!(
+                recorded.states(),
+                plain.states(),
+                "kernel faulted path diverged ({kind}, seed={seed})"
+            );
+            assert_eq!(plain_plan.inner().fired(), rec_plan.inner().fired());
+            assert!(recorder.recorded() > 0, "{kind}: no events traced");
+        }
+    }
+}
+
+#[test]
+fn sharded_faulted_runs_are_probe_inert() {
+    let n = 32;
+    for shards in [1usize, 4] {
+        for seed in [3u64, 13] {
+            let make = || {
+                let p = Packed(protocol(n));
+                let init = p.pack_all(&protocol(n).legal());
+                (
+                    ShardedSimulator::new(p, init, seed, shards),
+                    UnpackedHook::new(faulted_plan("corrupt", n, seed)),
+                )
+            };
+            let (mut plain, mut plain_plan) = make();
+            let (mut recorded, mut rec_plan) = make();
+            let mut recorder = Recorder::new();
+            plain.run_faulted(budget(n), &mut plain_plan);
+            recorded.run_faulted_probed(budget(n), &mut rec_plan, &mut recorder);
+            assert_eq!(
+                recorded.states(),
+                plain.states(),
+                "sharded faulted path diverged (shards={shards}, seed={seed})"
+            );
+            assert_eq!(plain_plan.inner().fired(), rec_plan.inner().fired());
+            assert!(recorder.recorded() > 0);
+        }
+    }
+}
+
+// ----------------------------------------------------------------------
+// Observed runs: checkpoint seam does not move checkpoints
+// ----------------------------------------------------------------------
+
+#[test]
+fn observed_runs_are_probe_inert_and_stop_at_the_same_time() {
+    use silent_ranking::population::is_valid_ranking;
+    use silent_ranking::population::observe::Convergence;
+    let n = 24;
+    for seed in [5u64, 17] {
+        let make = || {
+            let p = Packed(protocol(n));
+            let init = p.pack_all(&protocol(n).adversarial_uniform(seed));
+            Simulator::new(p, init, seed)
+        };
+        let (mut plain, mut recorded) = (make(), make());
+        let mut plain_obs = Convergence::new(|s: &[_]| is_valid_ranking(s));
+        let mut rec_obs = Convergence::new(|s: &[_]| is_valid_ranking(s));
+        let mut recorder = Recorder::new();
+        let budget = (n * n * n) as u64;
+        let stop_plain = plain.run_observed(budget, n as u64, &mut plain_obs);
+        let stop_rec = recorded.run_observed_probed(budget, n as u64, &mut rec_obs, &mut recorder);
+        assert_eq!(stop_plain, stop_rec, "seed={seed}");
+        assert_eq!(recorded.states(), plain.states());
+        assert_eq!(recorded.interactions(), plain.interactions());
+        assert!(recorder.recorded() > 0);
+    }
+}
