@@ -30,7 +30,15 @@
 //!
 //! Usage: `cargo run --release -p bench --bin recovery --
 //! [sizes=32,64] [sims=5] [budget_c=4000] [seed0=0]
-//! [out=BENCH_recovery.json] [--full] [--csv]`
+//! [out=BENCH_recovery.json] [checkpoint_dir=DIR] [--full] [--csv]`
+//!
+//! The `--full` sweep is the long one, so it supports kill-and-resume:
+//! with `checkpoint_dir=DIR`, every completed `(fault, n, seed)` cell is
+//! appended durably to `DIR/recovery-sweep.log` (see
+//! `snapshot::SweepLog` and `docs/DURABILITY.md`), and a restarted
+//! invocation re-runs only the cells the kill interrupted — the tables,
+//! fits, and JSON artifact come out identical to an uninterrupted run
+//! because the measurements themselves are deterministic per seed.
 
 use analysis::fit::power_fit;
 use analysis::stats::Summary;
@@ -39,6 +47,7 @@ use population::is_valid_ranking;
 use ranking::stable::{StableRanking, StableState};
 use ranking::Params;
 use scenarios::{ranking_faults, FaultPlan, Recovery, RecoveryEvent};
+use snapshot::{SweepLog, UNRECOVERED};
 
 /// The injector kinds measured, in table order (the canonical list).
 const KINDS: [&str; 6] = ranking_faults::KINDS;
@@ -68,14 +77,41 @@ fn plan_for(kind: &str, protocol: &StableRanking, n: usize, seed: u64) -> FaultP
     }
 }
 
+/// One completed `(fault, n, seed)` cell in the sweep log is two
+/// durable lines keyed off `base`: the injection time and the recovery
+/// time ([`UNRECOVERED`] when the budget ran out). Two `u64` values are
+/// exactly a [`RecoveryEvent`], so a resumed sweep reconstructs cached
+/// events losslessly.
+fn cached_event(log: &SweepLog, base: &str, kind: &'static str) -> Option<RecoveryEvent> {
+    let injected_at = log.get(&format!("{base}:inj"))?;
+    let rec = log.get(&format!("{base}:rec"))?;
+    Some(RecoveryEvent {
+        name: kind,
+        injected_at,
+        recovered_at: (rec != UNRECOVERED).then_some(rec),
+    })
+}
+
 fn measure(
     exp: &Experiment,
     kind: &'static str,
     n: usize,
     sims: u64,
     budget: u64,
+    log: &mut Option<SweepLog>,
 ) -> Vec<RecoveryEvent> {
-    exp.run_seeds(sims, |seed| {
+    let seeds = exp.seeds(sims);
+    let cached: Vec<Option<RecoveryEvent>> = seeds
+        .iter()
+        .map(|&seed| cached_event(log.as_ref()?, &format!("{kind}:{n}:{seed}"), kind))
+        .collect();
+    let missing: Vec<u64> = seeds
+        .iter()
+        .zip(&cached)
+        .filter(|(_, hit)| hit.is_none())
+        .map(|(&seed, _)| seed)
+        .collect();
+    let fresh = population::runner::run_seeds(&missing, |seed| {
         let protocol = StableRanking::new(Params::new(n));
         let init = init_for(kind, &protocol);
         let mut plan = plan_for(kind, &protocol, n, seed);
@@ -86,7 +122,31 @@ fn measure(
         let events = recovery.into_events();
         assert_eq!(events.len(), 1, "single-shot plan fired {}", events.len());
         events[0]
-    })
+    });
+    // Persist the fresh cells (durably, one fsync per append) and stitch
+    // cached + fresh back into seed order.
+    let mut fresh = fresh.into_iter();
+    seeds
+        .iter()
+        .zip(cached)
+        .map(|(&seed, hit)| {
+            hit.unwrap_or_else(|| {
+                let e = fresh.next().expect("one fresh event per missing seed");
+                if let Some(log) = log {
+                    let base = format!("{kind}:{n}:{seed}");
+                    log.record(&format!("{base}:inj"), e.injected_at)
+                        .and_then(|()| {
+                            log.record(
+                                &format!("{base}:rec"),
+                                e.recovered_at.unwrap_or(UNRECOVERED),
+                            )
+                        })
+                        .unwrap_or_else(|err| panic!("cannot append to sweep log: {err}"));
+                }
+                e
+            })
+        })
+        .collect()
 }
 
 fn main() {
@@ -110,6 +170,21 @@ fn main() {
         .collect();
     assert!(!sizes.is_empty(), "sizes= parsed to an empty list");
 
+    // Kill-and-resume support: a durable per-cell completion log.
+    let mut log = exp.checkpoint_dir().map(|dir| {
+        std::fs::create_dir_all(dir).unwrap_or_else(|e| panic!("cannot create {dir}: {e}"));
+        let log = SweepLog::open(std::path::Path::new(dir).join("recovery-sweep.log"))
+            .unwrap_or_else(|e| panic!("cannot open sweep log in {dir}: {e}"));
+        if !log.is_empty() || log.dropped > 0 {
+            exp.note(&format!(
+                "sweep log: {} line(s) already complete, {} torn/corrupt line(s) dropped",
+                log.len(),
+                log.dropped
+            ));
+        }
+        log
+    });
+
     let mut table = Table::new(
         format!("Recovery time by injector, unit n^2 log2 n ({sims} sims)"),
         &["fault", "n", "recovered", "mean", "median", "max"],
@@ -119,7 +194,7 @@ fn main() {
     for kind in KINDS {
         for &n in &sizes {
             let budget = (budget_c * (n * n) as f64 * (n as f64).log2()).ceil() as u64;
-            let events = measure(&exp, kind, n, sims, budget);
+            let events = measure(&exp, kind, n, sims, budget, &mut log);
             let norm = (n * n) as f64 * (n as f64).log2();
             let times: Vec<f64> = events
                 .iter()

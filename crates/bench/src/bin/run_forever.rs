@@ -1,0 +1,234 @@
+//! Run-forever driver: a crash-restartable `StableRanking` run with
+//! durable checkpoints.
+//!
+//! `interactions=` is the **total** trajectory target, not an
+//! increment: a fresh start runs `0 → total`, a restart resumes from
+//! the newest valid snapshot in `checkpoint_dir=` and runs the
+//! remainder. Kill the process at any point — SIGKILL, OOM, power cut —
+//! and re-running the same command continues the same trajectory. The
+//! final line prints `digest=<crc64>` over the final frame (interaction
+//! count, state words, scheduler cursors), and the keystone durability
+//! property makes that digest **independent of how often the run was
+//! killed**: a run resumed ten times prints the same digest as one that
+//! never stopped (enforced by the CI kill-and-resume smoke and
+//! `tests/snapshot_resume.rs`).
+//!
+//! On completion the driver writes one final snapshot at `t = total`,
+//! so re-running a finished command is a no-op that just reprints the
+//! digest.
+//!
+//! Fault soaking: `fault=<kind>` (any `scenarios::ranking_faults`
+//! injector) fires the injector every `fault_every=` interactions from
+//! a legal silent start — a sustained-fault endurance run. Fault RNG,
+//! pending fire times, and the fired log ride in the snapshots, so
+//! resumed fault runs are bit-for-bit too. Without `fault=` the run
+//! starts from the clean election configuration.
+//!
+//! Usage: `cargo run --release -p bench --bin run-forever --
+//! checkpoint_dir=DIR [n=256] [interactions=10000000]
+//! [checkpoint_every=1000000] [shards=1] [seed=0] [keep=4]
+//! [fault=none] [fault_every=n^2*64] [resume=FILE.ssr]`
+
+use std::path::Path;
+use std::time::Instant;
+
+use bench::Experiment;
+use population::{Frame, Simulator};
+use ranking::stable::{StableRanking, StableState};
+use ranking::Params;
+use scenarios::{ranking_faults, FaultPlan};
+use shard::ShardedSimulator;
+use snapshot::{restore_hook, Crc64, Meta, Rotation, SimSnapshot, SnapshotSink};
+
+fn die(msg: &str) -> ! {
+    eprintln!("run-forever: {msg}");
+    std::process::exit(1)
+}
+
+/// The trajectory digest: CRC-64 over the frame's interaction count,
+/// every state word, and every scheduler cursor (RNG position + pending
+/// pairs). Covering the cursors makes the digest sensitive to *where in
+/// the pair stream* the run ended, not just what configuration it
+/// reached — a resume that replayed or skipped even one interaction
+/// changes it.
+fn digest(frame: &Frame) -> u64 {
+    let mut crc = Crc64::new();
+    crc.update_u64(frame.interactions);
+    for &w in &frame.words {
+        crc.update_u64(w);
+    }
+    for c in &frame.cursors {
+        for &r in &c.rng {
+            crc.update_u64(r);
+        }
+        crc.update_u64(c.pending.len() as u64);
+        for &(a, b) in &c.pending {
+            crc.update_u64(u64::from(a));
+            crc.update_u64(u64::from(b));
+        }
+    }
+    crc.finish()
+}
+
+/// The fault plan for this configuration — rebuilt identically on every
+/// (re)start from the same CLI knobs; a snapshot's FAULT section then
+/// restores the dynamic position (RNG, next fire times, fired log) on
+/// top.
+fn build_plan(
+    protocol: &StableRanking,
+    n: usize,
+    seed: u64,
+    fault: Option<&str>,
+    fault_every: u64,
+) -> FaultPlan<StableState> {
+    match fault {
+        None => FaultPlan::empty(),
+        Some(kind) => FaultPlan::new(seed ^ 0xF417).periodic(
+            fault_every,
+            fault_every,
+            ranking_faults::standard(kind, protocol, n),
+        ),
+    }
+}
+
+fn main() {
+    let exp = Experiment::from_env("run-forever");
+    let n: usize = exp.get("n", 256);
+    let total: u64 = exp.get("interactions", 10_000_000);
+    let every = exp.checkpoint_every(1_000_000);
+    let shards: usize = exp.get("shards", 1);
+    let seed: u64 = exp.get("seed", 0);
+    let keep: usize = exp.get("keep", snapshot::DEFAULT_KEEP);
+    let fault = exp.args().get_str("fault").filter(|&f| f != "none");
+    let fault_every: u64 = exp.get("fault_every", (n * n) as u64 * 64);
+    let Some(dir) = exp.checkpoint_dir() else {
+        die("checkpoint_dir= is required (the whole point is durability)");
+    };
+
+    // Everything that determines the trajectory is in the label (plus
+    // the seed, carried separately in the snapshot meta) — resuming
+    // under different knobs is refused, not silently blended.
+    let fault_desc = match fault {
+        Some(kind) => format!("{kind}@{fault_every}"),
+        None => "none".to_string(),
+    };
+    let label = format!("run-forever n={n} shards={shards} fault={fault_desc}");
+
+    let rotation = Rotation::with_keep(dir, keep)
+        .unwrap_or_else(|e| die(&format!("cannot open rotation dir {dir}: {e}")));
+
+    // Pick the resume point: an explicit `resume=` file, else the
+    // newest valid snapshot in the rotation (reporting any corrupt ones
+    // skipped on the way), else a fresh start.
+    let loaded: Option<SimSnapshot> = match exp.resume_path() {
+        Some(path) => Some(
+            SimSnapshot::read(Path::new(path))
+                .unwrap_or_else(|e| die(&format!("cannot resume from {path}: {e}"))),
+        ),
+        None => rotation.latest_valid().map(|l| {
+            for (path, err) in &l.skipped {
+                eprintln!(
+                    "run-forever: skipped corrupt snapshot {}: {err}",
+                    path.display()
+                );
+            }
+            println!(
+                "resuming from {} at t={}",
+                l.path.display(),
+                l.snapshot.frame.interactions
+            );
+            l.snapshot
+        }),
+    };
+    if let Some(snap) = &loaded {
+        if snap.meta.label != label || snap.meta.seed != seed {
+            die(&format!(
+                "snapshot belongs to \"{}\" seed={}, this run is \"{label}\" seed={seed} — \
+                 refusing to blend trajectories (pick a different checkpoint_dir)",
+                snap.meta.label, snap.meta.seed,
+            ));
+        }
+        if snap.frame.interactions >= total {
+            println!(
+                "already complete: snapshot t={} >= target {total}; nothing to do",
+                snap.frame.interactions
+            );
+            println!("digest={:016x}", digest(&snap.frame));
+            return;
+        }
+    }
+    if loaded.is_none() {
+        println!("fresh start (no usable snapshot)");
+    }
+
+    let protocol = StableRanking::new(Params::new(n));
+    let mut plan = build_plan(&protocol, n, seed, fault, fault_every);
+    if let Some(state) = loaded.as_ref().and_then(|s| s.fault.as_ref()) {
+        restore_hook(&mut plan, state)
+            .unwrap_or_else(|e| die(&format!("cannot restore fault state: {e}")));
+    }
+
+    let start_t = loaded.as_ref().map_or(0, |s| s.frame.interactions);
+    let meta = Meta::new(&label, seed, &exp.manifest());
+    let mut sink = if loaded.is_some() {
+        SnapshotSink::resumed(rotation, every, start_t, meta)
+    } else {
+        SnapshotSink::every(rotation, every, meta)
+    };
+
+    // Fault runs soak a legal silent configuration; fault-free runs
+    // exercise the whole election-then-rank trajectory from the clean
+    // start.
+    let init = match fault {
+        Some(_) => protocol.legal(),
+        None => protocol.initial(),
+    };
+
+    let clock = Instant::now();
+    let final_frame = if shards == 1 {
+        let mut sim = match &loaded {
+            Some(snap) => snapshot::resume_simulator(protocol, snap)
+                .unwrap_or_else(|e| die(&format!("cannot restore: {e}"))),
+            None => Simulator::new(protocol, init, seed),
+        };
+        sim.run_faulted_checkpointed(total - start_t, &mut plan, &mut sink);
+        sim.frame()
+    } else {
+        let mut sim = match &loaded {
+            Some(snap) => snapshot::resume_sharded(protocol, snap)
+                .unwrap_or_else(|e| die(&format!("cannot restore: {e}"))),
+            None => ShardedSimulator::new(protocol, init, seed, shards),
+        };
+        sim.run_faulted_checkpointed(total - start_t, &mut plan, &mut sink);
+        sim.frame()
+    };
+    let secs = clock.elapsed().as_secs_f64();
+
+    // One final snapshot at t = total: a re-run of a finished command
+    // resumes here, sees t >= total, and is a pure no-op.
+    use population::HookState;
+    let final_snap = SimSnapshot {
+        meta: Meta::new(&label, seed, &exp.manifest()),
+        frame: final_frame,
+        fault: plan.export_state(),
+        observer: Vec::new(),
+    };
+    let final_path = sink
+        .rotation()
+        .save(&final_snap)
+        .unwrap_or_else(|e| die(&format!("cannot write final snapshot: {e}")));
+
+    let ran = total - start_t;
+    println!(
+        "ran {ran} interactions in {secs:.2}s ({:.1} M/s), faults fired: {}",
+        ran as f64 / secs / 1e6,
+        plan.fired().len(),
+    );
+    println!(
+        "checkpoints: saves={} failures={} every={every} final={}",
+        sink.saves,
+        sink.failures,
+        final_path.display()
+    );
+    println!("digest={:016x}", digest(&final_snap.frame));
+}

@@ -67,6 +67,27 @@ impl Experiment {
         self.args.get("sims", default)
     }
 
+    /// The durability directory, if the run asked for one:
+    /// `checkpoint_dir=` names where snapshot rotations and sweep logs
+    /// live. Binaries that support crash-consistent restarts share this
+    /// one spelling (see `docs/DURABILITY.md`).
+    pub fn checkpoint_dir(&self) -> Option<&str> {
+        self.args.get_str("checkpoint_dir")
+    }
+
+    /// Checkpoint cadence in interactions: `checkpoint_every=` with a
+    /// default.
+    pub fn checkpoint_every(&self, default: u64) -> u64 {
+        self.args.get("checkpoint_every", default)
+    }
+
+    /// An explicit snapshot file to resume from: `resume=`. Overrides
+    /// the rotation directory's newest-valid pick; binaries without a
+    /// `checkpoint_dir=` can still restart from a named file.
+    pub fn resume_path(&self) -> Option<&str> {
+        self.args.get_str("resume")
+    }
+
     /// The seed list for `count` simulations: `seed0=, seed0+1, …`
     /// (`seed0` defaults to 0, overridable for independent replications).
     pub fn seeds(&self, count: u64) -> Vec<u64> {
@@ -217,6 +238,22 @@ mod tests {
     fn sims_reads_argument_with_default() {
         assert_eq!(exp(&[]).sims(25), 25);
         assert_eq!(exp(&["sims=4"]).sims(25), 4);
+    }
+
+    #[test]
+    fn checkpoint_conventions_share_one_spelling() {
+        let e = exp(&[
+            "checkpoint_dir=ckpt",
+            "checkpoint_every=5000",
+            "resume=a.ssr",
+        ]);
+        assert_eq!(e.checkpoint_dir(), Some("ckpt"));
+        assert_eq!(e.checkpoint_every(1), 5000);
+        assert_eq!(e.resume_path(), Some("a.ssr"));
+        let bare = exp(&[]);
+        assert_eq!(bare.checkpoint_dir(), None);
+        assert_eq!(bare.checkpoint_every(7), 7);
+        assert_eq!(bare.resume_path(), None);
     }
 
     #[test]

@@ -20,7 +20,7 @@ use leader_election::fast::FastLeState;
 
 use crate::params::Params;
 use crate::stable::state::{MainKind, UnRole, UnState};
-use crate::stable::StableState;
+use crate::stable::{StableRanking, StableState};
 
 /// Breakdown of the analytic state-space size of `STABLERANKING`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -122,6 +122,65 @@ pub fn enumerate_states(params: &Params) -> Vec<StableState> {
         }
     }
     states
+}
+
+/// Verdict of a post-restore configuration audit: where a restored run
+/// stands relative to the paper's legal set and silence property.
+///
+/// Produced by [`restore_audit`] after a snapshot load. Word-level
+/// validation (codec exactness, state-space membership) already
+/// happened during decoding — this is the *configuration-level* layer
+/// on top: is the restored population a valid ranking, and is it
+/// silent? Because silence is a closed predicate over pairs (the
+/// paper's defining property), a restored snapshot of a stabilized run
+/// is *checkable*, not just plausible — the compact-certificate idea of
+/// the silent self-stabilization literature applied to durability.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RestoreAudit {
+    /// Population size.
+    pub n: usize,
+    /// Agents currently holding a rank.
+    pub ranked: usize,
+    /// Do the outputs form a permutation of `1..=n` (the legal set)?
+    pub valid_ranking: bool,
+    /// Do at least two agents share a rank?
+    pub duplicate_rank: bool,
+    /// Would no ordered pair change state on interaction? Exhaustive
+    /// `O(n²)` check — run once at restore, not in any loop.
+    pub silent: bool,
+}
+
+impl RestoreAudit {
+    /// `true` iff the configuration is stabilized in the paper's sense:
+    /// a valid ranking that is also silent.
+    pub fn stabilized(&self) -> bool {
+        self.valid_ranking && self.silent
+    }
+
+    /// One-word human verdict for logs: `"stabilized"`, `"transient"`
+    /// (not yet a silent valid ranking, but nothing structurally wrong),
+    /// or `"corrupted"` (duplicate ranks present — a fault's signature).
+    pub fn verdict(&self) -> &'static str {
+        if self.stabilized() {
+            "stabilized"
+        } else if self.duplicate_rank {
+            "corrupted"
+        } else {
+            "transient"
+        }
+    }
+}
+
+/// Audit a restored configuration: rank census, legal-set membership,
+/// and the exhaustive silence check (see [`RestoreAudit`]).
+pub fn restore_audit(protocol: &StableRanking, states: &[StableState]) -> RestoreAudit {
+    RestoreAudit {
+        n: states.len(),
+        ranked: population::ranked_count(states),
+        valid_ranking: population::is_valid_ranking(states),
+        duplicate_rank: population::has_duplicate_rank(states),
+        silent: population::silence::is_silent(protocol, states),
+    }
 }
 
 /// Records the set of distinct states seen over a run.
@@ -261,6 +320,34 @@ mod tests {
             let codes: HashSet<u64> = states.iter().map(|s| s.encode(&params)).collect();
             assert_eq!(codes.len(), states.len(), "enumeration repeated a state");
         }
+    }
+
+    #[test]
+    fn restore_audit_classifies_the_three_regimes() {
+        let n = 12;
+        let params = Params::new(n);
+        let protocol = StableRanking::new(params.clone());
+
+        // A stabilized configuration: the legal ranking, which is silent.
+        let legal: Vec<StableState> = (1..=n as u64).map(StableState::Ranked).collect();
+        let audit = restore_audit(&protocol, &legal);
+        assert!(audit.stabilized());
+        assert_eq!(audit.verdict(), "stabilized");
+        assert_eq!(audit.ranked, n);
+
+        // A corrupted one: two agents share rank 1.
+        let mut dup = legal.clone();
+        dup[3] = StableState::Ranked(1);
+        let audit = restore_audit(&protocol, &dup);
+        assert!(!audit.stabilized());
+        assert!(audit.duplicate_rank);
+        assert_eq!(audit.verdict(), "corrupted");
+
+        // A transient one: an adversarial start, not yet ranked.
+        let init = protocol.adversarial_uniform(7);
+        let audit = restore_audit(&protocol, &init);
+        assert!(!audit.stabilized());
+        assert_eq!(audit.n, n);
     }
 
     #[test]

@@ -22,6 +22,7 @@ pub mod ranking_plus;
 pub mod reset;
 pub mod state;
 pub mod tables;
+pub mod words;
 
 use leader_election::fast::{FastLe, FastLeEffect};
 use population::{PackedProtocol, Protocol};

@@ -259,6 +259,42 @@ impl PackedState {
             tag => unreachable!("invalid packed tag {tag}"),
         }
     }
+
+    /// Fallible [`unpack`](PackedState::unpack) for words of unknown
+    /// provenance (snapshot restore, fuzzing): rejects any word that is
+    /// not the *exact* encoding of some structured state — a non-one-hot
+    /// tag, or stray bits the codec would silently drop (e.g. a coin bit
+    /// under a ranked tag, or garbage above an embedded field).
+    ///
+    /// Acceptance here is purely structural (the word round-trips
+    /// through the codec); whether the decoded state belongs to the
+    /// declared state space for some `Params` is a separate check
+    /// (`StableState::is_valid_for`) layered on top by the snapshot
+    /// loader.
+    pub fn try_unpack(self) -> Result<StableState, String> {
+        let tag = self.tag();
+        if !matches!(
+            tag,
+            TAG_RANKED | TAG_RESET | TAG_ELECT | TAG_WAITING | TAG_PHASE
+        ) {
+            return Err(format!("word {:#x}: tag {tag:#b} is not one-hot", self.0));
+        }
+        let state = self.unpack();
+        if Self::pack(&state).0 != self.0 {
+            return Err(format!(
+                "word {:#x}: stray bits outside the {} encoding",
+                self.0,
+                match tag {
+                    TAG_RANKED => "ranked",
+                    TAG_RESET => "reset",
+                    TAG_ELECT => "elect",
+                    TAG_WAITING => "waiting",
+                    _ => "phase",
+                }
+            ));
+        }
+        Ok(state)
+    }
 }
 
 #[inline]

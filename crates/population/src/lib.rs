@@ -67,6 +67,12 @@
 //! * [`Protocol`] — the transition function and population size.
 //! * [`Simulator`] — the seeded, deterministic executor described above.
 //! * [`schedule`] — the uniform scheduler with block pre-sampling.
+//! * [`checkpoint`] — the checkpoint/restore seam: [`WordState`] state
+//!   serialization, [`schedule::ScheduleCursor`] position capture, and
+//!   the [`Checkpointer`] hook driven by
+//!   [`Simulator::run_checkpointed`] (zero-cost when off, like the
+//!   [`Probe`] seam; the `snapshot` crate provides the durable
+//!   implementation).
 //! * [`observe`] — the composable observer pipeline.
 //! * [`silence`] — an exhaustive checker for the *silent* property: a
 //!   configuration is silent iff no ordered pair of agents would change
@@ -138,6 +144,7 @@ mod probe;
 mod protocol;
 mod sim;
 
+pub mod checkpoint;
 pub mod modelcheck;
 pub mod observe;
 pub mod primitives;
@@ -145,6 +152,10 @@ pub mod runner;
 pub mod schedule;
 pub mod silence;
 
+pub use checkpoint::{
+    Cadence, Checkpointer, FaultState, Frame, HookState, MemoryCheckpointer, NullCheckpointer,
+    WordState,
+};
 pub use observe::{
     Control, HonestRanking, Observer, ShardObserver, ShardedRanking, ShardedSilence,
 };
@@ -153,7 +164,7 @@ pub use probe::{NullProbe, Probe};
 pub use protocol::{
     BatchedProtocol, HonestOutput, Packed, PackedProtocol, Protocol, RankOutput, ScalarBlock,
 };
-pub use schedule::{PairSource, Schedule, SubSchedule};
+pub use schedule::{CursorSource, PairSource, Schedule, ScheduleCursor, SubSchedule};
 pub use sim::{FaultHook, NoFaults, Simulator, StopReason, UnpackedHook};
 
 /// Returns `true` iff the ranks output by `states` form a permutation of

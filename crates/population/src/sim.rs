@@ -1,8 +1,9 @@
+use crate::checkpoint::{Checkpointer, Frame, HookState, WordState};
 use crate::observe::{Convergence, Observer, Sampler};
 use crate::pairs::pair_mut;
 use crate::probe::Probe;
 use crate::protocol::{BatchedProtocol, Packed, Protocol};
-use crate::schedule::{PairSource, Schedule, BLOCK_PAIRS};
+use crate::schedule::{CursorSource, PairSource, Schedule, BLOCK_PAIRS};
 
 /// Why a bounded run stopped.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -90,6 +91,12 @@ impl<H> UnpackedHook<H> {
     /// The wrapped hook (e.g. to read a `FaultPlan`'s firing log).
     pub fn inner(&self) -> &H {
         &self.inner
+    }
+
+    /// Mutable access to the wrapped hook (e.g. to restore a
+    /// `FaultPlan`'s checkpointed state).
+    pub fn inner_mut(&mut self) -> &mut H {
+        &mut self.inner
     }
 
     /// Consume the adapter, returning the wrapped hook.
@@ -505,6 +512,114 @@ impl<P: Protocol, S: PairSource> Simulator<P, S> {
     /// Consume the simulator, returning the final configuration.
     pub fn into_states(self) -> Vec<P::State> {
         self.states
+    }
+
+    /// The pair source driving this simulator (e.g. to capture its
+    /// cursor for a checkpoint).
+    pub fn source(&self) -> &S {
+        &self.schedule
+    }
+}
+
+impl<P: Protocol, S: CursorSource> Simulator<P, S> {
+    /// Resume a simulator at a captured position: `states` and `source`
+    /// come from a restored [`Frame`], `interactions` is the count at
+    /// capture time. The resumed run continues the captured one
+    /// **bit for bit** (the FIFO pair stream makes the trajectory
+    /// independent of where the run was split).
+    ///
+    /// # Panics
+    ///
+    /// Same validity requirements as
+    /// [`with_source`](Simulator::with_source).
+    pub fn resume(protocol: P, states: Vec<P::State>, source: S, interactions: u64) -> Self {
+        let mut sim = Self::with_source(protocol, states, source);
+        sim.interactions = interactions;
+        sim
+    }
+}
+
+impl<P: WordState, S: CursorSource> Simulator<P, S> {
+    /// Capture the run's position as a [`Frame`]: interaction count,
+    /// encoded configuration words, and the scheduler cursor.
+    pub fn frame(&self) -> Frame {
+        Frame {
+            interactions: self.interactions,
+            shards: 1,
+            block_pairs: BLOCK_PAIRS as u64,
+            words: self
+                .states
+                .iter()
+                .map(|s| self.protocol.state_to_word(s))
+                .collect(),
+            cursors: vec![self.schedule.cursor()],
+        }
+    }
+
+    /// [`run_batched`](Simulator::run_batched) with periodic state
+    /// saves through a [`Checkpointer`]. Sugar for
+    /// [`run_faulted_checkpointed`](Simulator::run_faulted_checkpointed)
+    /// with [`NoFaults`]; delegates to `run_batched` for an inactive
+    /// checkpointer (identical hot path, like the [`Probe`] seam).
+    pub fn run_checkpointed<C: Checkpointer>(&mut self, count: u64, ckpt: &mut C) {
+        if !C::ACTIVE {
+            return self.run_batched(count);
+        }
+        self.run_faulted_checkpointed(count, &mut NoFaults, ckpt);
+    }
+
+    /// [`run_faulted`](Simulator::run_faulted) with periodic state
+    /// saves: the batched loop splits at both fault fire points *and*
+    /// checkpoint due points, so saves land at exact interaction
+    /// counts. At a count where both are due, faults fire **first** —
+    /// the saved frame then reflects the post-fault configuration and a
+    /// hook already advanced past `t`, so a resume from it replays
+    /// nothing. Delegates to `run_faulted` for an inactive
+    /// checkpointer.
+    ///
+    /// Checkpointing is trajectory-inert here: the pair stream is FIFO,
+    /// so splitting bursts at save points leaves the sequential
+    /// trajectory bit-for-bit unchanged (property-tested in
+    /// `tests/snapshot_resume.rs`).
+    pub fn run_faulted_checkpointed<H, C>(&mut self, count: u64, hook: &mut H, ckpt: &mut C)
+    where
+        H: FaultHook<P> + HookState,
+        C: Checkpointer,
+    {
+        if !C::ACTIVE {
+            return self.run_faulted(count, hook);
+        }
+        let deadline = self.interactions + count;
+        loop {
+            while hook
+                .next_fire(self.interactions)
+                .is_some_and(|t| t <= self.interactions)
+            {
+                hook.fire(&self.protocol, self.interactions, &mut self.states);
+            }
+            while ckpt
+                .next_due(self.interactions)
+                .is_some_and(|t| t <= self.interactions)
+            {
+                let frame = self.frame();
+                ckpt.save(&frame, hook.export_state().as_ref());
+            }
+            if self.interactions >= deadline {
+                return;
+            }
+            let next_event = [
+                hook.next_fire(self.interactions),
+                ckpt.next_due(self.interactions),
+            ]
+            .into_iter()
+            .flatten()
+            .min();
+            let stop = match next_event {
+                Some(t) if t < deadline => t,
+                _ => deadline,
+            };
+            self.run_batched(stop - self.interactions);
+        }
     }
 }
 

@@ -354,6 +354,71 @@ impl<S> FaultPlan<S> {
     pub fn peek_next(&self) -> Option<u64> {
         self.entries.iter().filter_map(|e| e.next).min()
     }
+
+    /// Resolve `name` to the `&'static str` of the entry that carries
+    /// it, if any — the interning step of checkpoint import: fired-log
+    /// names come back from disk as owned strings, and re-anchoring
+    /// them on the reconstructed plan's entries both restores the
+    /// zero-allocation log representation and rejects logs that don't
+    /// belong to this plan.
+    pub fn intern_name(&self, name: &str) -> Option<&'static str> {
+        self.entries
+            .iter()
+            .map(|e| e.fault.name())
+            .find(|&n| n == name)
+    }
+}
+
+/// The checkpoint seam: a plan's trajectory-determining state is its
+/// RNG (Poisson inter-arrival draws and fault randomness share it), the
+/// per-entry next-fire times, and the fired log. Faults themselves are
+/// *not* serialized — the restoring caller reconstructs the plan from
+/// the same experiment parameters (same builder calls, same seed), then
+/// imports the dynamic position on top. [`import_state`] checks the
+/// structural agreement it can (entry count, log names) and the
+/// snapshot layer's CRCs cover the rest.
+///
+/// [`import_state`]: population::HookState::import_state
+impl<S> population::HookState for FaultPlan<S> {
+    fn export_state(&self) -> Option<population::FaultState> {
+        Some(population::FaultState {
+            rng: self.rng.state(),
+            next: self.entries.iter().map(|e| e.next).collect(),
+            fired: self
+                .log
+                .iter()
+                .map(|f| (f.at, f.name.to_string()))
+                .collect(),
+        })
+    }
+
+    fn import_state(&mut self, state: &population::FaultState) -> Result<(), String> {
+        if state.next.len() != self.entries.len() {
+            return Err(format!(
+                "fault state has {} entries, plan has {}",
+                state.next.len(),
+                self.entries.len()
+            ));
+        }
+        let log = state
+            .fired
+            .iter()
+            .map(|(at, name)| {
+                self.intern_name(name)
+                    .map(|interned| FiredFault {
+                        at: *at,
+                        name: interned,
+                    })
+                    .ok_or_else(|| format!("fired log names unknown fault {name:?}"))
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        self.rng = SmallRng::from_state(state.rng);
+        for (e, next) in self.entries.iter_mut().zip(&state.next) {
+            e.next = *next;
+        }
+        self.log = log;
+        Ok(())
+    }
 }
 
 /// Geometric inter-arrival draw: the number of interactions (≥ 1) until
@@ -535,6 +600,75 @@ mod tests {
         let mut f = EraseRank::new(4, |_: &mut SmallRng| R(None));
         f.apply(&mut states, &mut rng);
         assert_eq!(states.iter().filter(|s| s.0.is_none()).count(), 4);
+    }
+
+    #[test]
+    fn plan_state_round_trip_resumes_the_fault_schedule() {
+        use population::HookState;
+        // Run half the budget, export, rebuild the plan from the same
+        // parameters, import, run the rest: the combined fired log must
+        // be bit-for-bit the uninterrupted run's.
+        let build = || {
+            FaultPlan::new(11).poisson(0.01, zeroing()).periodic(
+                300,
+                700,
+                StateRewrite::corrupt(2, |_: &mut SmallRng| (9, 9)),
+            )
+        };
+        let mut reference = Simulator::new(Count(8), vec![(0, 0); 8], 4);
+        let mut ref_plan = build();
+        reference.run_faulted(10_000, &mut ref_plan);
+
+        let mut first = Simulator::new(Count(8), vec![(0, 0); 8], 4);
+        let mut plan = build();
+        first.run_faulted(5_000, &mut plan);
+        let exported = plan.export_state().expect("plans are stateful");
+
+        let mut resumed_plan = build();
+        resumed_plan.import_state(&exported).expect("import");
+        assert_eq!(resumed_plan.fired(), plan.fired());
+        assert_eq!(resumed_plan.peek_next(), plan.peek_next());
+        // Continue on a simulator resumed at the same position.
+        use population::CursorSource;
+        let mut second = population::Simulator::resume(
+            Count(8),
+            first.states().to_vec(),
+            population::Schedule::from_cursor(first.source().cursor()),
+            first.interactions(),
+        );
+        second.run_faulted(5_000, &mut resumed_plan);
+        assert_eq!(resumed_plan.fired(), ref_plan.fired());
+        assert_eq!(second.states(), reference.states());
+    }
+
+    #[test]
+    fn plan_import_rejects_structural_mismatch() {
+        use population::HookState;
+        let plan = FaultPlan::<(u64, u64)>::new(1).once(10, zeroing());
+        let exported = plan.export_state().unwrap();
+
+        // Wrong entry count.
+        let mut two_entries = FaultPlan::<(u64, u64)>::new(1)
+            .once(10, zeroing())
+            .once(20, zeroing());
+        assert!(two_entries.import_state(&exported).is_err());
+
+        // Unknown name in the fired log.
+        let mut mismatched = exported.clone();
+        mismatched.fired.push((5, "no_such_fault".into()));
+        let mut same_shape = FaultPlan::<(u64, u64)>::new(1).once(10, zeroing());
+        assert!(same_shape.import_state(&mismatched).is_err());
+
+        // A well-formed import on the matching shape succeeds.
+        let mut ok = FaultPlan::<(u64, u64)>::new(99).once(10, zeroing());
+        assert!(ok.import_state(&exported).is_ok());
+    }
+
+    #[test]
+    fn intern_name_resolves_only_plan_entries() {
+        let plan = FaultPlan::<(u64, u64)>::new(1).once(10, zeroing());
+        assert_eq!(plan.intern_name("randomize"), Some("randomize"));
+        assert_eq!(plan.intern_name("corrupt"), None);
     }
 
     #[test]

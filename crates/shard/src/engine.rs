@@ -3,8 +3,11 @@
 use std::sync::{Barrier, Mutex};
 
 use population::observe::{Convergence, ShardObserver};
-use population::schedule::{Pair, SubSchedule, BLOCK_PAIRS};
-use population::{FaultHook, Observer, PairSource, Probe, Protocol, StopReason};
+use population::schedule::{Pair, ScheduleCursor, SubSchedule, BLOCK_PAIRS};
+use population::{
+    Checkpointer, CursorSource, FaultHook, Frame, HookState, NoFaults, Observer, PairSource, Probe,
+    Protocol, StopReason, WordState,
+};
 
 use crate::partition::{bounds, rounds, OwnerMap};
 
@@ -335,6 +338,101 @@ impl<P: Protocol> ShardedSimulator<P> {
             let start = guard.start;
             let end = start + guard.states.len();
             guard.states.clone_from_slice(&all[start..end]);
+        }
+    }
+
+    /// Per-shard scheduler cursors, in shard order — together with
+    /// [`states`](Self::states) and the interaction count, the complete
+    /// trajectory-determining position of a sharded run (see
+    /// [`resume`](Self::resume)).
+    pub fn cursors(&self) -> Vec<ScheduleCursor> {
+        self.slots
+            .iter()
+            .map(|slot| slot.lock().expect("shard lane poisoned").sched.cursor())
+            .collect()
+    }
+
+    /// Rebuild a sharded simulator at a captured position: `initial` is
+    /// the concatenated configuration, `cursors` the per-shard scheduler
+    /// cursors (their count *is* the shard count), `interactions` the
+    /// interaction count at capture. The resumed run continues the
+    /// captured run's trajectory bit for bit **under the same block
+    /// structure** — restore the captured
+    /// [`block_pairs`](Self::with_block_pairs) and issue the same burst
+    /// sequence (worker count remains free; it never affects the
+    /// trajectory).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration size is illegal, `cursors` is empty,
+    /// or any cursor's `(n, start, len)` disagrees with the balanced
+    /// partition of `n` agents into `cursors.len()` lanes — a cursor set
+    /// from a different population or shard count never silently
+    /// resumes.
+    pub fn resume(
+        protocol: P,
+        initial: Vec<P::State>,
+        cursors: Vec<ScheduleCursor>,
+        interactions: u64,
+    ) -> Self {
+        let n = initial.len();
+        assert_eq!(
+            n,
+            protocol.n(),
+            "initial configuration size must match protocol.n()"
+        );
+        assert!(n >= 2, "population needs at least two agents");
+        assert!(u32::try_from(n).is_ok(), "population size exceeds u32");
+        let shards = cursors.len();
+        assert!(
+            (1..=n).contains(&shards),
+            "shard count must be within 1..=n"
+        );
+        for (s, cursor) in cursors.iter().enumerate() {
+            let (start, end) = bounds(n, shards, s);
+            assert!(
+                cursor.n == n as u64
+                    && cursor.start == start as u64
+                    && cursor.len == (end - start) as u64,
+                "cursor {s} covers {}..{} of n = {} — expected lane {start}..{end} of n = {n}",
+                cursor.start,
+                cursor.start + cursor.len,
+                cursor.n,
+            );
+        }
+        let mut initial = initial;
+        let mut lanes: Vec<Vec<P::State>> = Vec::with_capacity(shards);
+        for s in (0..shards).rev() {
+            let (start, _) = bounds(n, shards, s);
+            lanes.push(initial.split_off(start));
+        }
+        let slots = cursors
+            .into_iter()
+            .zip(lanes.into_iter().rev())
+            .map(|(cursor, states)| {
+                let sched = SubSchedule::from_cursor(cursor);
+                let (start, end) = sched.range();
+                debug_assert_eq!(end - start, states.len());
+                Mutex::new(Slot {
+                    start,
+                    states,
+                    sched,
+                    outbox: vec![Vec::new(); shards],
+                    local: Vec::new(),
+                })
+            })
+            .collect();
+        let workers = population::runner::available_workers().get().min(shards);
+        Self {
+            protocol,
+            slots,
+            rounds: rounds(shards),
+            owners: OwnerMap::new(n, shards),
+            n,
+            shards,
+            workers,
+            block_pairs: BLOCK_PAIRS,
+            interactions,
         }
     }
 
@@ -700,6 +798,103 @@ where
     }
 }
 
+impl<P: WordState> ShardedSimulator<P> {
+    /// Capture the run's position as a portable [`Frame`]: interaction
+    /// count, shard count, block size, encoded configuration words, and
+    /// per-shard cursors. Between `run*` calls the outboxes are empty
+    /// (every block drains them in its exchange phase), so the frame is
+    /// the *complete* trajectory-determining state — feed it to
+    /// [`resume`](Self::resume) (decoding words through the same
+    /// [`WordState`] codec) to continue bit for bit.
+    pub fn frame(&self) -> Frame {
+        Frame {
+            interactions: self.interactions,
+            shards: self.shards as u32,
+            block_pairs: self.block_pairs as u64,
+            words: self
+                .states()
+                .iter()
+                .map(|s| self.protocol.state_to_word(s))
+                .collect(),
+            cursors: self.cursors(),
+        }
+    }
+}
+
+impl<P: WordState + Sync> ShardedSimulator<P>
+where
+    P::State: Send,
+{
+    /// Execute exactly `count` interactions, handing a [`Frame`] to
+    /// `ckpt` at every interaction count where it asks for a save — the
+    /// sharded counterpart of
+    /// [`Simulator::run_checkpointed`](population::Simulator::run_checkpointed).
+    ///
+    /// Delegates to [`run`](Self::run) when `C::ACTIVE` is `false`
+    /// ([`NullCheckpointer`](population::NullCheckpointer)), so the
+    /// un-checkpointed hot path is untouched. Unlike the sequential
+    /// engine, saving is **not** trajectory-inert here: bursts split at
+    /// save points, and the sharded trajectory depends on block
+    /// structure. A checkpointed sharded run is its own deterministic
+    /// trajectory — resume comparisons run against a
+    /// checkpointed-but-uninterrupted twin with the same cadence.
+    pub fn run_checkpointed<C: Checkpointer>(&mut self, count: u64, ckpt: &mut C) {
+        if !C::ACTIVE {
+            return self.run(count);
+        }
+        self.run_faulted_checkpointed(count, &mut NoFaults, ckpt);
+    }
+
+    /// [`run_faulted`](Self::run_faulted) and
+    /// [`run_checkpointed`](Self::run_checkpointed) merged: bursts split
+    /// at the earlier of the next fault and the next save. At equal
+    /// times the fault fires first, so a frame saved at `t` reflects the
+    /// post-fault configuration with the hook's exported state already
+    /// advanced past `t` — a resume from it replays nothing.
+    pub fn run_faulted_checkpointed<H, C>(&mut self, count: u64, hook: &mut H, ckpt: &mut C)
+    where
+        H: FaultHook<P> + HookState,
+        C: Checkpointer,
+    {
+        if !C::ACTIVE {
+            return self.run_faulted(count, hook);
+        }
+        let deadline = self.interactions + count;
+        loop {
+            while hook
+                .next_fire(self.interactions)
+                .is_some_and(|t| t <= self.interactions)
+            {
+                let mut all = self.states();
+                hook.fire(&self.protocol, self.interactions, &mut all);
+                self.scatter(&all);
+            }
+            while ckpt
+                .next_due(self.interactions)
+                .is_some_and(|t| t <= self.interactions)
+            {
+                let frame = self.frame();
+                ckpt.save(&frame, hook.export_state().as_ref());
+            }
+            if self.interactions >= deadline {
+                return;
+            }
+            let next_event = [
+                hook.next_fire(self.interactions),
+                ckpt.next_due(self.interactions),
+            ]
+            .into_iter()
+            .flatten()
+            .min();
+            let stop = match next_event {
+                Some(t) if t < deadline => t,
+                _ => deadline,
+            };
+            self.run(stop - self.interactions);
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1019,5 +1214,164 @@ mod tests {
     #[should_panic(expected = "must match protocol.n()")]
     fn rejects_mismatched_initial_configuration() {
         let _ = ShardedSimulator::new(Count(8), init(5), 0, 2);
+    }
+
+    /// An order-sensitive protocol with word-serializable state: the
+    /// non-commutative mix makes any trajectory divergence visible in
+    /// the final words.
+    struct Mark(usize);
+    impl Protocol for Mark {
+        type State = u64;
+        fn n(&self) -> usize {
+            self.0
+        }
+        fn transition(&self, u: &mut u64, v: &mut u64) -> bool {
+            *u = u.wrapping_mul(6364136223846793005).wrapping_add(*v | 1);
+            *v = v.wrapping_add(*u >> 32);
+            true
+        }
+    }
+    impl WordState for Mark {
+        fn state_to_word(&self, state: &u64) -> u64 {
+            *state
+        }
+        fn state_from_word(&self, word: u64) -> Result<u64, String> {
+            Ok(word)
+        }
+    }
+
+    fn marks(n: usize) -> Vec<u64> {
+        (0..n as u64).collect()
+    }
+
+    #[test]
+    fn cursor_resume_continues_the_trajectory_bit_for_bit() {
+        for shards in [1, 4] {
+            let mut reference = ShardedSimulator::new(Mark(24), marks(24), 17, shards);
+            reference.run(10_000);
+            let (states, cursors, t) = (
+                reference.states(),
+                reference.cursors(),
+                reference.interactions(),
+            );
+            reference.run(10_000);
+            let mut resumed = ShardedSimulator::resume(Mark(24), states, cursors, t);
+            assert_eq!(resumed.shards(), shards);
+            resumed.run(10_000);
+            assert_eq!(resumed.states(), reference.states(), "shards={shards}");
+            assert_eq!(resumed.interactions(), reference.interactions());
+        }
+    }
+
+    #[test]
+    fn checkpointed_resume_matches_the_checkpointed_twin() {
+        // The sharded trajectory depends on burst structure, so the
+        // reference is a checkpointed-but-uninterrupted twin with the
+        // same cadence. The crashed run dies at 8_000; its last frame
+        // (at 6_000) resumes and both reach 20_000 on the same grid.
+        for shards in [1, 4] {
+            let mut twin = ShardedSimulator::new(Mark(24), marks(24), 5, shards);
+            let mut twin_ckpt = population::MemoryCheckpointer::every(3_000);
+            twin.run_checkpointed(20_000, &mut twin_ckpt);
+
+            let mut crashed = ShardedSimulator::new(Mark(24), marks(24), 5, shards);
+            let mut crash_ckpt = population::MemoryCheckpointer::every(3_000);
+            crashed.run_checkpointed(8_000, &mut crash_ckpt);
+            let (frame, _) = crash_ckpt.saved.last().expect("saves before the crash");
+            assert_eq!(frame.interactions, 6_000);
+            drop(crashed); // the "crash"
+
+            let states = frame
+                .words
+                .iter()
+                .map(|&w| Mark(24).state_from_word(w).unwrap())
+                .collect();
+            let mut resumed =
+                ShardedSimulator::resume(Mark(24), states, frame.cursors.clone(), 6_000);
+            let mut resume_ckpt = population::MemoryCheckpointer::every(3_000);
+            resumed.run_checkpointed(14_000, &mut resume_ckpt);
+
+            assert_eq!(resumed.states(), twin.states(), "shards={shards}");
+            assert_eq!(resumed.interactions(), twin.interactions());
+            // Frames on the shared grid agree too (the resumed run
+            // re-saves at 6_000 on entry; overlap starts at 9_000).
+            let twin_at_12k = twin_ckpt
+                .saved
+                .iter()
+                .find(|(f, _)| f.interactions == 12_000)
+                .expect("twin saved at 12k");
+            let resumed_at_12k = resume_ckpt
+                .saved
+                .iter()
+                .find(|(f, _)| f.interactions == 12_000)
+                .expect("resumed saved at 12k");
+            assert_eq!(twin_at_12k.0, resumed_at_12k.0, "shards={shards}");
+        }
+    }
+
+    /// A hook zeroing every word at fixed times, with exportable (empty)
+    /// state.
+    struct ZeroWordsAt(Vec<u64>);
+    impl FaultHook<Mark> for ZeroWordsAt {
+        fn next_fire(&mut self, now: u64) -> Option<u64> {
+            self.0.iter().copied().find(|&t| t >= now)
+        }
+        fn fire(&mut self, _p: &Mark, t: u64, states: &mut [u64]) {
+            states.iter_mut().for_each(|s| *s = 0);
+            self.0.retain(|&x| x > t);
+        }
+    }
+    impl HookState for ZeroWordsAt {
+        fn export_state(&self) -> Option<population::FaultState> {
+            None
+        }
+        fn import_state(&mut self, _state: &population::FaultState) -> Result<(), String> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn faults_fire_before_saves_at_equal_times() {
+        // A fault and a save both due at 3_000: the frame must hold the
+        // post-fault (all-zero) configuration.
+        let mut sim = ShardedSimulator::new(Mark(16), marks(16), 9, 2);
+        let mut hook = ZeroWordsAt(vec![3_000]);
+        let mut ckpt = population::MemoryCheckpointer::every(3_000);
+        sim.run_faulted_checkpointed(3_000, &mut hook, &mut ckpt);
+        let (frame, _) = ckpt
+            .saved
+            .iter()
+            .find(|(f, _)| f.interactions == 3_000)
+            .expect("save at the fault time");
+        assert!(
+            frame.words.iter().all(|&w| w == 0),
+            "frame must reflect the post-fault configuration"
+        );
+    }
+
+    #[test]
+    fn null_checkpointer_run_checkpointed_is_run() {
+        let mut plain = ShardedSimulator::new(Mark(16), marks(16), 9, 3);
+        let mut ckpt = ShardedSimulator::new(Mark(16), marks(16), 9, 3);
+        plain.run(12_345);
+        ckpt.run_checkpointed(12_345, &mut population::NullCheckpointer);
+        assert_eq!(plain.states(), ckpt.states());
+    }
+
+    #[test]
+    #[should_panic(expected = "expected lane")]
+    fn resume_rejects_cursors_from_a_different_partition() {
+        // Cursors captured from a 4-shard split cannot resume as 2
+        // shards of the right population: lane bounds disagree.
+        let sim = ShardedSimulator::new(Mark(24), marks(24), 17, 4);
+        let mut cursors = sim.cursors();
+        cursors.truncate(2);
+        let _ = ShardedSimulator::resume(Mark(24), sim.states(), cursors, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "shard count must be within")]
+    fn resume_rejects_empty_cursor_set() {
+        let _ = ShardedSimulator::resume(Mark(8), marks(8), Vec::new(), 0);
     }
 }

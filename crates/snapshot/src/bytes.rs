@@ -1,0 +1,166 @@
+//! Little-endian byte codec for the snapshot format: an infallible
+//! appender and a bounds-checked reader whose every read is fallible —
+//! the reader is fed bytes from disk, so running off the end must be a
+//! reported [`Truncated`](crate::SnapshotError::Truncated) error, never
+//! a panic.
+
+use crate::SnapshotError;
+
+/// Append-only little-endian encoder.
+#[derive(Debug, Default)]
+pub struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The encoded bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    pub fn u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Raw bytes, no length prefix.
+    pub fn bytes(&mut self, v: &[u8]) {
+        self.buf.extend_from_slice(v);
+    }
+
+    /// Length-prefixed (u32) UTF-8 string.
+    pub fn string(&mut self, v: &str) {
+        self.u32(u32::try_from(v.len()).expect("string exceeds u32 length"));
+        self.bytes(v.as_bytes());
+    }
+}
+
+/// Bounds-checked little-endian decoder over a byte slice.
+#[derive(Debug)]
+pub struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+    /// Context for error messages ("META section", "file header", …).
+    what: &'static str,
+}
+
+impl<'a> Reader<'a> {
+    /// Read from `buf`, labelling truncation errors with `what`.
+    pub fn new(buf: &'a [u8], what: &'static str) -> Self {
+        Self { buf, pos: 0, what }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Take `len` raw bytes.
+    pub fn take(&mut self, len: usize) -> Result<&'a [u8], SnapshotError> {
+        if self.remaining() < len {
+            return Err(SnapshotError::Truncated {
+                what: self.what,
+                want: len,
+                have: self.remaining(),
+            });
+        }
+        let out = &self.buf[self.pos..self.pos + len];
+        self.pos += len;
+        Ok(out)
+    }
+
+    pub fn u16(&mut self) -> Result<u16, SnapshotError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+
+    pub fn u32(&mut self) -> Result<u32, SnapshotError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    pub fn u64(&mut self) -> Result<u64, SnapshotError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// A length-prefixed UTF-8 string (rejects invalid UTF-8 and length
+    /// prefixes that overrun the buffer).
+    pub fn string(&mut self) -> Result<String, SnapshotError> {
+        let len = self.u32()? as usize;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|_| SnapshotError::Malformed(format!("{}: non-UTF-8 string", self.what)))
+    }
+
+    /// A `u32` length prefix for `count` items of at least `min_size`
+    /// bytes each, sanity-checked against the remaining bytes so a
+    /// corrupted length can never trigger a huge allocation.
+    pub fn count(&mut self, min_size: usize) -> Result<usize, SnapshotError> {
+        let count = self.u32()? as usize;
+        if count.saturating_mul(min_size) > self.remaining() {
+            return Err(SnapshotError::Malformed(format!(
+                "{}: count {count} overruns the section",
+                self.what
+            )));
+        }
+        Ok(count)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_scalars_and_strings() {
+        let mut w = Writer::new();
+        w.u16(7);
+        w.u32(1 << 30);
+        w.u64(u64::MAX - 3);
+        w.string("héllo");
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes, "test");
+        assert_eq!(r.u16().unwrap(), 7);
+        assert_eq!(r.u32().unwrap(), 1 << 30);
+        assert_eq!(r.u64().unwrap(), u64::MAX - 3);
+        assert_eq!(r.string().unwrap(), "héllo");
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn truncated_reads_error_not_panic() {
+        let mut r = Reader::new(&[1, 2, 3], "test");
+        assert!(matches!(
+            r.u64(),
+            Err(SnapshotError::Truncated {
+                want: 8,
+                have: 3,
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn corrupt_length_prefixes_are_rejected() {
+        // A string length far past the end of the buffer.
+        let mut w = Writer::new();
+        w.u32(1_000_000);
+        let bytes = w.into_bytes();
+        assert!(Reader::new(&bytes, "test").string().is_err());
+        // A count that would imply more items than bytes remain.
+        let mut w = Writer::new();
+        w.u32(u32::MAX);
+        let bytes = w.into_bytes();
+        assert!(Reader::new(&bytes, "test").count(8).is_err());
+    }
+}

@@ -1,0 +1,208 @@
+//! [`SweepLog`]: an append-only, torn-tail-tolerant completion log for
+//! run-forever sweeps.
+//!
+//! A sweep over many cells (one per `(kind, n)` or seed) that can be
+//! killed at any moment needs to know, on restart, which cells already
+//! finished. Snapshot files cover *within-cell* progress; the sweep log
+//! covers *across-cell* progress: one line per completed cell,
+//!
+//! ```text
+//! <crc64-hex-16> <key>=<value>\n
+//! ```
+//!
+//! where the CRC-64/XZ covers `key=value`. Appends are fsynced, so a
+//! completed cell survives a kill. A crash *mid-append* leaves a torn
+//! final line; [`SweepLog::open`] verifies every line and silently drops
+//! any that fail (a torn tail means that cell simply re-runs — the safe
+//! direction). Values are `u64`; drivers use [`UNRECOVERED`] as the
+//! sentinel for "cell finished without converging".
+
+use std::collections::BTreeMap;
+use std::fs::OpenOptions;
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+
+use crate::crc::crc64;
+
+/// Sentinel value for a cell that completed without reaching its goal.
+pub const UNRECOVERED: u64 = u64::MAX;
+
+/// An append-only map of completed sweep cells, durable per append.
+#[derive(Debug)]
+pub struct SweepLog {
+    path: PathBuf,
+    done: BTreeMap<String, u64>,
+    /// Lines dropped at open time (torn tail, bit rot).
+    pub dropped: usize,
+}
+
+impl SweepLog {
+    /// Open (or create) the log at `path`, verifying every line and
+    /// dropping corrupt ones.
+    pub fn open(path: impl Into<PathBuf>) -> io::Result<Self> {
+        let path = path.into();
+        let mut done = BTreeMap::new();
+        let mut dropped = 0;
+        match std::fs::read_to_string(&path) {
+            Ok(text) => {
+                for line in text.lines() {
+                    match parse_line(line) {
+                        Some((key, value)) => {
+                            done.insert(key, value);
+                        }
+                        None => dropped += 1,
+                    }
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::NotFound => {}
+            Err(e) => return Err(e),
+        }
+        Ok(Self {
+            path,
+            done,
+            dropped,
+        })
+    }
+
+    /// The log file path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// The recorded value for `key`, if that cell completed.
+    pub fn get(&self, key: &str) -> Option<u64> {
+        self.done.get(key).copied()
+    }
+
+    /// Number of completed cells.
+    pub fn len(&self) -> usize {
+        self.done.len()
+    }
+
+    /// Is the log empty?
+    pub fn is_empty(&self) -> bool {
+        self.done.is_empty()
+    }
+
+    /// All completed cells, sorted by key.
+    pub fn entries(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.done.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+
+    /// Record cell `key` as completed with `value`, durably (append +
+    /// fsync before returning).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `key` contains a newline or an `=` (the line format's
+    /// two reserved characters).
+    pub fn record(&mut self, key: &str, value: u64) -> io::Result<()> {
+        assert!(
+            !key.contains('\n') && !key.contains('='),
+            "sweep keys must not contain newlines or '='"
+        );
+        let body = format!("{key}={value}");
+        let line = format!("{:016x} {body}\n", crc64(body.as_bytes()));
+        let mut file = OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&self.path)?;
+        file.write_all(line.as_bytes())?;
+        file.sync_all()?;
+        self.done.insert(key.to_string(), value);
+        Ok(())
+    }
+}
+
+fn parse_line(line: &str) -> Option<(String, u64)> {
+    let (crc_hex, body) = line.split_once(' ')?;
+    let crc = u64::from_str_radix(crc_hex, 16).ok()?;
+    if crc64(body.as_bytes()) != crc {
+        return None;
+    }
+    let (key, value) = body.split_once('=')?;
+    Some((key.to_string(), value.parse().ok()?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scratch(name: &str) -> PathBuf {
+        let path =
+            std::env::temp_dir().join(format!("ssr-sweep-{}-{name}.log", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        path
+    }
+
+    #[test]
+    fn records_survive_reopen() {
+        let path = scratch("reopen");
+        let mut log = SweepLog::open(&path).unwrap();
+        log.record("corrupt:1024", 50_000).unwrap();
+        log.record("churn:1024", UNRECOVERED).unwrap();
+        drop(log);
+        let log = SweepLog::open(&path).unwrap();
+        assert_eq!(log.get("corrupt:1024"), Some(50_000));
+        assert_eq!(log.get("churn:1024"), Some(UNRECOVERED));
+        assert_eq!(log.get("missing"), None);
+        assert_eq!(log.dropped, 0);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn later_records_override_earlier_ones() {
+        let path = scratch("override");
+        let mut log = SweepLog::open(&path).unwrap();
+        log.record("cell", 1).unwrap();
+        log.record("cell", 2).unwrap();
+        drop(log);
+        let log = SweepLog::open(&path).unwrap();
+        assert_eq!(log.get("cell"), Some(2));
+        assert_eq!(log.len(), 1);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn torn_tail_is_dropped_not_fatal() {
+        let path = scratch("torn");
+        let mut log = SweepLog::open(&path).unwrap();
+        log.record("whole", 7).unwrap();
+        drop(log);
+        // Simulate a crash mid-append: a half-written final line.
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes.extend_from_slice(b"0123456789abcdef torn");
+        std::fs::write(&path, bytes).unwrap();
+        let log = SweepLog::open(&path).unwrap();
+        assert_eq!(log.get("whole"), Some(7));
+        assert_eq!(log.len(), 1);
+        assert_eq!(log.dropped, 1);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn bit_rot_in_a_line_is_dropped() {
+        let path = scratch("rot");
+        let mut log = SweepLog::open(&path).unwrap();
+        log.record("a", 1).unwrap();
+        log.record("b", 2).unwrap();
+        drop(log);
+        let mut bytes = std::fs::read(&path).unwrap();
+        // Flip a digit inside the first line's value.
+        let flip = bytes.iter().position(|&b| b == b'1').unwrap();
+        bytes[flip] = b'9';
+        std::fs::write(&path, bytes).unwrap();
+        let log = SweepLog::open(&path).unwrap();
+        assert_eq!(log.get("a"), None, "corrupt line dropped");
+        assert_eq!(log.get("b"), Some(2));
+        assert_eq!(log.dropped, 1);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    #[should_panic(expected = "must not contain")]
+    fn reserved_characters_in_keys_are_rejected() {
+        let mut log = SweepLog::open(scratch("reserved")).unwrap();
+        let _ = log.record("bad=key", 1);
+    }
+}

@@ -1,0 +1,103 @@
+//! Crash-consistent file writing: write-to-temp, fsync, atomic rename,
+//! directory fsync — with bounded retry.
+//!
+//! The invariant the dance buys: **a reader never observes a
+//! half-written snapshot under its final name.** A crash before the
+//! rename leaves only a `.tmp` orphan (ignored by the rotation scan); a
+//! crash after leaves the complete new file. The directory fsync makes
+//! the rename itself durable — without it, a power cut can roll the
+//! directory entry back even though the data blocks were flushed.
+
+use std::fs::{self, File};
+use std::io::{self, Write};
+use std::path::Path;
+
+/// Write attempts before giving up (first try + two retries).
+pub const WRITE_ATTEMPTS: u32 = 3;
+
+/// Backoff before retry `k` (doubling): 10ms, 20ms, …
+const BACKOFF_MS: u64 = 10;
+
+/// One atomic write: `path` is either untouched or holds exactly
+/// `bytes` afterwards, durably.
+fn write_atomic(path: &Path, bytes: &[u8]) -> io::Result<()> {
+    let dir = path.parent().filter(|p| !p.as_os_str().is_empty());
+    let tmp = path.with_extension("tmp");
+    let mut file = File::create(&tmp)?;
+    file.write_all(bytes)?;
+    file.sync_all()?;
+    drop(file);
+    fs::rename(&tmp, path)?;
+    if let Some(dir) = dir {
+        // Directories cannot be opened for write, but fsync on a
+        // read-only handle flushes the entry table on Unix.
+        File::open(dir)?.sync_all()?;
+    }
+    Ok(())
+}
+
+/// An atomic write (temp file + fsync + rename + directory fsync)
+/// with bounded retry and exponential backoff — a
+/// transiently failing filesystem (ENOSPC racing a cleaner, NFS hiccup)
+/// gets [`WRITE_ATTEMPTS`] chances; a persistently failing one surfaces
+/// the last error to the caller, which must degrade gracefully (count
+/// the failure, keep the run alive) rather than panic.
+pub fn write_durable(path: &Path, bytes: &[u8]) -> io::Result<()> {
+    let mut last = None;
+    for attempt in 0..WRITE_ATTEMPTS {
+        if attempt > 0 {
+            std::thread::sleep(std::time::Duration::from_millis(
+                BACKOFF_MS << (attempt - 1),
+            ));
+        }
+        match write_atomic(path, bytes) {
+            Ok(()) => return Ok(()),
+            Err(e) => last = Some(e),
+        }
+    }
+    Err(last.expect("at least one attempt ran"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scratch(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("ssr-writer-{}-{name}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).expect("scratch dir");
+        dir
+    }
+
+    #[test]
+    fn writes_exactly_the_bytes_and_cleans_its_temp() {
+        let dir = scratch("basic");
+        let path = dir.join("out.ssr");
+        write_durable(&path, b"hello durability").expect("write");
+        assert_eq!(fs::read(&path).unwrap(), b"hello durability");
+        assert!(
+            !dir.join("out.tmp").exists(),
+            "temp file must be renamed away"
+        );
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn overwrite_is_atomic_replacement() {
+        let dir = scratch("overwrite");
+        let path = dir.join("out.ssr");
+        write_durable(&path, b"first").expect("write");
+        write_durable(&path, b"second, longer contents").expect("rewrite");
+        assert_eq!(fs::read(&path).unwrap(), b"second, longer contents");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn missing_directory_surfaces_an_error() {
+        let path = std::env::temp_dir()
+            .join(format!("ssr-writer-nodir-{}", std::process::id()))
+            .join("deeper")
+            .join("out.ssr");
+        assert!(write_durable(&path, b"x").is_err());
+    }
+}

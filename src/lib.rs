@@ -18,6 +18,11 @@
 //!   engine).
 //! * [`shard`] — the sharded multi-threaded single-run simulator
 //!   (per-shard sub-schedules + boundary-pair exchange).
+//! * [`snapshot`] — crash-consistent checkpoint/restore: versioned
+//!   CRC-checked snapshot files, rotation directories with graceful
+//!   fallback past corruption, corruption injection for testing, and
+//!   bit-for-bit resume on every execution path. See
+//!   `docs/DURABILITY.md`.
 //! * [`telemetry`] — the flight-recorder observability layer: the
 //!   [`Recorder`](telemetry::Recorder) probe (structured event traces in
 //!   bounded ring buffers), the unified metrics registry
@@ -47,4 +52,5 @@ pub use population;
 pub use ranking;
 pub use scenarios;
 pub use shard;
+pub use snapshot;
 pub use telemetry;

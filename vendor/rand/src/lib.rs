@@ -145,6 +145,36 @@ pub mod rngs {
         }
     }
 
+    impl SmallRng {
+        /// The generator's raw xoshiro256++ state words — the
+        /// serialization seam for checkpoint/restore. **Extension beyond
+        /// the real `rand` API** (which deliberately hides generator
+        /// state); the snapshot layer needs it to resume a pair stream
+        /// mid-orbit, and replaying the draw history instead would make
+        /// restore cost proportional to run length.
+        pub fn state(&self) -> [u64; 4] {
+            self.s
+        }
+
+        /// Rebuild a generator from raw state words previously returned
+        /// by [`state`](SmallRng::state). The restored generator
+        /// produces bit-for-bit the continuation of the captured one.
+        ///
+        /// # Panics
+        ///
+        /// Panics on the all-zero state, which is not in xoshiro's
+        /// state space (the generator would emit zeros forever); a
+        /// captured state can never be all-zero, so hitting this means
+        /// the words did not come from [`state`](SmallRng::state).
+        pub fn from_state(s: [u64; 4]) -> Self {
+            assert!(
+                s.iter().any(|&w| w != 0),
+                "all-zero xoshiro state is invalid"
+            );
+            Self { s }
+        }
+    }
+
     impl RngCore for SmallRng {
         #[inline]
         fn next_u64(&mut self) -> u64 {
@@ -225,5 +255,23 @@ mod tests {
     fn empty_range_panics() {
         let mut rng = SmallRng::seed_from_u64(0);
         let _ = rng.random_range(5..5u64);
+    }
+
+    #[test]
+    fn state_round_trip_continues_stream() {
+        let mut rng = SmallRng::seed_from_u64(42);
+        for _ in 0..17 {
+            rng.next_u64();
+        }
+        let mut restored = SmallRng::from_state(rng.state());
+        for _ in 0..100 {
+            assert_eq!(rng.next_u64(), restored.next_u64());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "all-zero")]
+    fn all_zero_state_rejected() {
+        let _ = SmallRng::from_state([0; 4]);
     }
 }
