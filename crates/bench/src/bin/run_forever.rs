@@ -24,15 +24,26 @@
 //! resumed fault runs are bit-for-bit too. Without `fault=` the run
 //! starts from the clean election configuration.
 //!
+//! Dynamic populations: `arrivals=<per-million>` and/or
+//! `lifetime=<mean>` switch the run onto the `DynamicPopulation`
+//! engine (Poisson joins, exponential lifetimes, rank leasing, epoch
+//! re-parameterization). Churn runs are single-shard and currently
+//! exclusive with `fault=`; the whole engine state (roster, free-lists,
+//! churn RNG) rides in the snapshots' DYNPOP section, so the
+//! kill-anytime digest contract holds unchanged — the digest then also
+//! covers those DYNPOP bytes.
+//!
 //! Usage: `cargo run --release -p bench --bin run-forever --
 //! checkpoint_dir=DIR [n=256] [interactions=10000000]
 //! [checkpoint_every=1000000] [shards=1] [seed=0] [keep=4]
-//! [fault=none] [fault_every=n^2*64] [resume=FILE.ssr]`
+//! [fault=none] [fault_every=n^2*64] [arrivals=0] [lifetime=0]
+//! [resume=FILE.ssr]`
 
 use std::path::Path;
 use std::time::Instant;
 
 use bench::Experiment;
+use dynamic::{ChurnConfig, DynamicPopulation};
 use population::{Frame, Simulator};
 use ranking::stable::{StableRanking, StableState};
 use ranking::Params;
@@ -46,12 +57,14 @@ fn die(msg: &str) -> ! {
 }
 
 /// The trajectory digest: CRC-64 over the frame's interaction count,
-/// every state word, and every scheduler cursor (RNG position + pending
-/// pairs). Covering the cursors makes the digest sensitive to *where in
-/// the pair stream* the run ended, not just what configuration it
-/// reached — a resume that replayed or skipped even one interaction
-/// changes it.
-fn digest(frame: &Frame) -> u64 {
+/// every state word, every scheduler cursor (RNG position + pending
+/// pairs), and — for dynamic runs — the DYNPOP section bytes (roster,
+/// free-lists, churn RNG). Covering the cursors makes the digest
+/// sensitive to *where in the pair stream* the run ended, not just what
+/// configuration it reached — a resume that replayed or skipped even
+/// one interaction changes it. For fixed-n runs `dynpop` is empty and
+/// the digest is exactly the historical one.
+fn digest(frame: &Frame, dynpop: &[u8]) -> u64 {
     let mut crc = Crc64::new();
     crc.update_u64(frame.interactions);
     for &w in &frame.words {
@@ -67,6 +80,7 @@ fn digest(frame: &Frame) -> u64 {
             crc.update_u64(u64::from(b));
         }
     }
+    crc.update(dynpop);
     crc.finish()
 }
 
@@ -101,9 +115,18 @@ fn main() {
     let keep: usize = exp.get("keep", snapshot::DEFAULT_KEEP);
     let fault = exp.args().get_str("fault").filter(|&f| f != "none");
     let fault_every: u64 = exp.get("fault_every", (n * n) as u64 * 64);
+    let arrivals: f64 = exp.get("arrivals", 0.0);
+    let lifetime: f64 = exp.get("lifetime", 0.0);
+    let churning = arrivals > 0.0 || lifetime > 0.0;
     let Some(dir) = exp.checkpoint_dir() else {
         die("checkpoint_dir= is required (the whole point is durability)");
     };
+    if churning && shards != 1 {
+        die("dynamic runs (arrivals=/lifetime=) are single-shard; drop shards=");
+    }
+    if churning && fault.is_some() {
+        die("fault= is not yet supported together with arrivals=/lifetime=");
+    }
 
     // Everything that determines the trajectory is in the label (plus
     // the seed, carried separately in the snapshot meta) — resuming
@@ -112,7 +135,10 @@ fn main() {
         Some(kind) => format!("{kind}@{fault_every}"),
         None => "none".to_string(),
     };
-    let label = format!("run-forever n={n} shards={shards} fault={fault_desc}");
+    let mut label = format!("run-forever n={n} shards={shards} fault={fault_desc}");
+    if churning {
+        label.push_str(&format!(" arrivals={arrivals} lifetime={lifetime}"));
+    }
 
     let rotation = Rotation::with_keep(dir, keep)
         .unwrap_or_else(|e| die(&format!("cannot open rotation dir {dir}: {e}")));
@@ -153,12 +179,19 @@ fn main() {
                 "already complete: snapshot t={} >= target {total}; nothing to do",
                 snap.frame.interactions
             );
-            println!("digest={:016x}", digest(&snap.frame));
+            println!("digest={:016x}", digest(&snap.frame, &snap.dynpop));
             return;
         }
     }
     if loaded.is_none() {
         println!("fresh start (no usable snapshot)");
+    }
+
+    if churning {
+        run_dynamic(
+            &exp, rotation, loaded, &label, n, seed, total, every, arrivals, lifetime,
+        );
+        return;
     }
 
     let protocol = StableRanking::new(Params::new(n));
@@ -212,6 +245,7 @@ fn main() {
         frame: final_frame,
         fault: plan.export_state(),
         observer: Vec::new(),
+        dynpop: Vec::new(),
     };
     let final_path = sink
         .rotation()
@@ -230,5 +264,77 @@ fn main() {
         sink.failures,
         final_path.display()
     );
-    println!("digest={:016x}", digest(&final_snap.frame));
+    println!(
+        "digest={:016x}",
+        digest(&final_snap.frame, &final_snap.dynpop)
+    );
+}
+
+/// The dynamic-population arm: same resume/label/digest contract, but
+/// the engine carries its whole lifecycle state (roster, free-lists,
+/// churn RNG cursor, epoch) in the snapshots' DYNPOP section.
+/// Checkpoints land on exact multiples of `every`, so a killed run
+/// resumes onto the identical trajectory.
+#[allow(clippy::too_many_arguments)]
+fn run_dynamic(
+    exp: &Experiment,
+    rotation: Rotation,
+    loaded: Option<SimSnapshot>,
+    label: &str,
+    n: usize,
+    seed: u64,
+    total: u64,
+    every: u64,
+    arrivals: f64,
+    lifetime: f64,
+) {
+    let mut engine: DynamicPopulation<StableRanking> = match &loaded {
+        Some(snap) => DynamicPopulation::restore(snap)
+            .unwrap_or_else(|e| die(&format!("cannot restore dynamic run: {e}"))),
+        None => DynamicPopulation::new(
+            Params::new(n),
+            ChurnConfig::poisson(arrivals, lifetime),
+            seed,
+        ),
+    };
+    let start_t = engine.interactions();
+    let clock = Instant::now();
+    let mut saves = 0u64;
+    let mut failures = 0u64;
+    while engine.interactions() < total {
+        let boundary = (engine.interactions() / every + 1) * every;
+        let target = total.min(boundary);
+        engine.run(target - engine.interactions());
+        let snap = engine.snapshot(Meta::new(label, seed, &exp.manifest()));
+        match rotation.save(&snap) {
+            Ok(_) => saves += 1,
+            Err(e) => {
+                failures += 1;
+                eprintln!("run-forever: checkpoint save failed: {e}");
+            }
+        }
+    }
+    let secs = clock.elapsed().as_secs_f64();
+
+    let metrics = engine.metrics().snapshot();
+    let counter = |name: &str| metrics.counter(name).unwrap_or(0);
+    let final_snap = engine.snapshot(Meta::new(label, seed, &exp.manifest()));
+    let ran = total - start_t;
+    println!(
+        "ran {ran} interactions in {secs:.2}s ({:.1} M/s), live={} epoch={} \
+         joins={} leaves={} hibernates={} revives={} valid={:.3}",
+        ran as f64 / secs / 1e6,
+        engine.live(),
+        engine.epoch().epoch(),
+        counter("dyn_joins"),
+        counter("dyn_leaves"),
+        counter("dyn_hibernates"),
+        counter("dyn_revives"),
+        engine.fraction_valid(),
+    );
+    println!("checkpoints: saves={saves} failures={failures} every={every}");
+    println!(
+        "digest={:016x}",
+        digest(&final_snap.frame, &final_snap.dynpop)
+    );
 }

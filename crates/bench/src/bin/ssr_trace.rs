@@ -5,8 +5,11 @@
 //! validates it against the versioned schema (header first, known kinds
 //! only, per-kind required fields, monotone event timestamps), and
 //! prints a digest: event counts by kind, the covered interaction-time
-//! range, every fault firing with its injector name, and an ASCII
-//! rendering of each histogram line.
+//! range, every fault firing with its injector name, a membership
+//! summary for dynamic-population traces (join/leave rates per 10⁶
+//! interactions plus the rank-reuse dwell — release → next claim of
+//! the same rank — as a log₂ histogram), and an ASCII rendering of
+//! each histogram line.
 //!
 //! Exit status is the validation verdict — `0` for a schema-valid
 //! trace, `1` otherwise — so CI can gate on it directly. Pass `--check`
@@ -84,6 +87,63 @@ fn main() -> ExitCode {
         println!("faults:");
         for (t, name) in &summary.faults {
             println!("  t={t:<12} {}", name.as_deref().unwrap_or("(unnamed)"));
+        }
+    }
+
+    // Membership summary (dynamic-population traces): join/leave rates
+    // over the covered time range, and the dwell between a rank's
+    // release and its next claim, accumulated through the same log₂
+    // `Registry` histogram the engines use.
+    let mut membership: std::collections::BTreeMap<&str, u64> = Default::default();
+    let mut released: std::collections::HashMap<u64, u64> = Default::default();
+    let mut registry = telemetry::Registry::new();
+    let dwell = registry.histogram("rank_reuse_dwell");
+    for line in text.lines().filter(|l| !l.trim().is_empty()) {
+        let Ok(map) = parse_line(line) else { continue };
+        let t = map.get("t").and_then(Value::as_u64).unwrap_or(0);
+        match map.get("kind").and_then(Value::as_str) {
+            Some("join") => *membership.entry("join").or_default() += 1,
+            Some("leave") => *membership.entry("leave").or_default() += 1,
+            Some("hibernate") => *membership.entry("hibernate").or_default() += 1,
+            Some("revive") => *membership.entry("revive").or_default() += 1,
+            Some("rank_release") => {
+                if let Some(rank) = map.get("rank").and_then(Value::as_u64) {
+                    released.insert(rank, t);
+                }
+            }
+            Some("rank_claim") => {
+                if let Some(rank) = map.get("rank").and_then(Value::as_u64) {
+                    if let Some(freed_at) = released.remove(&rank) {
+                        dwell.record(t.saturating_sub(freed_at));
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    if !membership.is_empty() {
+        let span = summary.t_range.map_or(1, |(lo, hi)| (hi - lo).max(1));
+        println!("membership (per-10^6-interaction rates over the covered range):");
+        for (kind, count) in &membership {
+            println!(
+                "  {kind:<10} {count:>8}  ({:.2} /M)",
+                *count as f64 * 1.0e6 / span as f64
+            );
+        }
+        let snap = registry.snapshot();
+        let reuse = snap.histogram("rank_reuse_dwell").unwrap();
+        if reuse.count > 0 {
+            println!(
+                "rank-reuse dwell (release -> next claim, count {}, sum {}):",
+                reuse.count, reuse.sum
+            );
+            print!("{}", reuse.render_ascii());
+        }
+        if !released.is_empty() {
+            println!(
+                "  ({} rank(s) still unclaimed at end of trace)",
+                released.len()
+            );
         }
     }
 

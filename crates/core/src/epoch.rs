@@ -1,0 +1,214 @@
+//! Epoch-based re-parameterization for dynamic populations.
+//!
+//! Every threshold in [`Params`] is derived from a *fixed* population
+//! size `n` — the paper's setting. A dynamic population (the
+//! `crates/dynamic` engine) has a drifting live count, and rebuilding
+//! the protocol on every join or leave would both thrash (each rebuild
+//! re-derives thresholds and transition tables) and destabilize: the
+//! PR 5 model checker proved that naively swapping the population under
+//! the protocol livelocks, so regime changes must be rare, explicit
+//! events the engine can handle deliberately.
+//!
+//! [`EpochParams`] is that layer. It holds the parameters of the
+//! *current epoch* — derived from the live count at the last rollover —
+//! and a **hysteresis band** (default ±25%). [`EpochParams::observe`]
+//! compares the
+//! current live count against the band around the epoch's nominal `n`;
+//! only when the population has drifted outside the band does it
+//! re-derive `Params` for the new size (carrying the same `c_*`
+//! multipliers through [`Params::with_c_wait`] and friends) and bump
+//! the epoch counter. Inside the band, nothing changes — a population
+//! hovering near a boundary cannot flap between regimes.
+//!
+//! The handoff contract on a rollover is the *engine's* job, but the
+//! shape is fixed here: all derived bounds (`wait_max`, `L_max`,
+//! `R_max`, `D_max`, `coin_target`) are monotone non-decreasing in `n`,
+//! so on **growth** every in-flight state remains inside the new state
+//! space and agents converge to the new regime through the protocol's
+//! own error detection (a rank > old `n` is simply never assigned; the
+//! missing ranks re-elect). On **shrink**, states can fall *outside*
+//! the new space (a rank or counter above the new bound); the engine
+//! re-seeds exactly those agents as fresh electors — a local, targeted
+//! reset instead of the global one the paper's protocol would
+//! eventually trigger anyway when it detects the inconsistency.
+
+use crate::params::Params;
+
+/// Default hysteresis half-width: re-derive when the live count leaves
+/// `[0.75·n, 1.25·n]` around the epoch's nominal `n`.
+pub const DEFAULT_BAND: f64 = 0.25;
+
+/// The parameter regime of one epoch of a dynamic-population run, plus
+/// the rollover policy (see the [module docs](self)).
+#[derive(Debug, Clone)]
+pub struct EpochParams {
+    params: Params,
+    epoch: u64,
+    band: f64,
+}
+
+impl EpochParams {
+    /// Epoch 0 with the given initial parameters and the
+    /// [default band](DEFAULT_BAND).
+    pub fn new(params: Params) -> Self {
+        Self {
+            params,
+            epoch: 0,
+            band: DEFAULT_BAND,
+        }
+    }
+
+    /// Override the hysteresis half-width (a fraction of the nominal
+    /// `n`; e.g. `0.25` for ±25%).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < band < 1`: a zero band would roll over on
+    /// every single join/leave, and a band ≥ 1 would let the population
+    /// hit the hard floor of 2 agents without ever re-deriving.
+    pub fn with_band(mut self, band: f64) -> Self {
+        assert!(band > 0.0 && band < 1.0, "band must be in (0, 1)");
+        self.band = band;
+        self
+    }
+
+    /// Reconstruct an epoch regime captured in a snapshot: parameters
+    /// as saved, epoch counter as saved, band from the (re-supplied)
+    /// run configuration.
+    pub fn restore(params: Params, epoch: u64, band: f64) -> Self {
+        Self::new(params).with_band(band).at_epoch(epoch)
+    }
+
+    fn at_epoch(mut self, epoch: u64) -> Self {
+        self.epoch = epoch;
+        self
+    }
+
+    /// The current epoch's parameters.
+    pub fn params(&self) -> &Params {
+        &self.params
+    }
+
+    /// The epoch counter: 0 at construction, +1 per rollover.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The hysteresis half-width in use.
+    pub fn band(&self) -> f64 {
+        self.band
+    }
+
+    /// The nominal population size of the current epoch (the live count
+    /// at the last rollover, floored at 2).
+    pub fn nominal_n(&self) -> usize {
+        self.params.n()
+    }
+
+    /// Would a live count of `live` trigger a rollover? True iff `live`
+    /// (floored at 2) lies outside `[(1−band)·n, (1+band)·n]`.
+    pub fn out_of_band(&self, live: usize) -> bool {
+        let n = self.params.n() as f64;
+        let live = live.max(2) as f64;
+        live < n * (1.0 - self.band) || live > n * (1.0 + self.band)
+    }
+
+    /// Check `live` against the band; if it has drifted outside,
+    /// re-derive the parameters for `live.max(2)` — carrying the
+    /// epoch-0 `c_*` multipliers — bump the epoch counter, and return
+    /// the new epoch number. Inside the band this is a no-op returning
+    /// `None`.
+    pub fn observe(&mut self, live: usize) -> Option<u64> {
+        if !self.out_of_band(live) {
+            return None;
+        }
+        self.params = Params::new(live.max(2))
+            .with_c_wait(self.params.c_wait())
+            .with_c_live(self.params.c_live())
+            .with_c_reset(self.params.c_reset())
+            .with_c_delay(self.params.c_delay());
+        self.epoch += 1;
+        Some(self.epoch)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inside_the_band_is_a_no_op() {
+        let mut e = EpochParams::new(Params::new(100));
+        for live in [75, 80, 100, 120, 125] {
+            assert_eq!(e.observe(live), None, "live={live}");
+            assert_eq!(e.nominal_n(), 100);
+            assert_eq!(e.epoch(), 0);
+        }
+    }
+
+    #[test]
+    fn drift_past_the_band_rolls_over_once() {
+        let mut e = EpochParams::new(Params::new(100));
+        assert_eq!(e.observe(126), Some(1));
+        assert_eq!(e.nominal_n(), 126);
+        // The new regime re-centers the band: 126 is now nominal.
+        assert_eq!(e.observe(126), None);
+        assert_eq!(e.observe(150), None); // within ±25% of 126
+        assert_eq!(e.observe(158), Some(2)); // 158 > 1.25·126
+        assert_eq!(e.epoch(), 2);
+    }
+
+    #[test]
+    fn shrink_rolls_over_and_floors_at_two() {
+        let mut e = EpochParams::new(Params::new(8));
+        assert_eq!(e.observe(1), Some(1));
+        assert_eq!(e.nominal_n(), 2);
+        // At the floor, a live count of 1 stays in-band (floored to 2).
+        assert_eq!(e.observe(1), None);
+    }
+
+    #[test]
+    fn rollover_preserves_the_c_multipliers() {
+        let mut e = EpochParams::new(Params::new(64).with_c_wait(3.0).with_c_reset(5.0));
+        e.observe(200).unwrap();
+        assert_eq!(e.params().n(), 200);
+        assert_eq!(e.params().c_wait(), 3.0);
+        assert_eq!(e.params().c_reset(), 5.0);
+        // Derived quantities match a from-scratch derivation.
+        let fresh = Params::new(200).with_c_wait(3.0).with_c_reset(5.0);
+        assert_eq!(e.params().wait_max(), fresh.wait_max());
+        assert_eq!(e.params().l_max(), fresh.l_max());
+    }
+
+    #[test]
+    fn growth_keeps_every_derived_bound_monotone() {
+        // The growth-handoff safety argument: every bound is monotone
+        // non-decreasing in n, so old states stay in the new space.
+        let mut prev = Params::new(2);
+        for n in [3usize, 4, 7, 16, 63, 256, 1000, 10_000] {
+            let next = Params::new(n);
+            assert!(next.wait_max() >= prev.wait_max());
+            assert!(next.l_max() >= prev.l_max());
+            assert!(next.r_max() >= prev.r_max());
+            assert!(next.d_max() >= prev.d_max());
+            assert!(next.coin_target() >= prev.coin_target());
+            prev = next;
+        }
+    }
+
+    #[test]
+    fn restore_round_trips() {
+        let mut e = EpochParams::new(Params::new(50)).with_band(0.1);
+        e.observe(100).unwrap();
+        let r = EpochParams::restore(e.params().clone(), e.epoch(), e.band());
+        assert_eq!(r.nominal_n(), e.nominal_n());
+        assert_eq!(r.epoch(), 1);
+        assert_eq!(r.band(), 0.1);
+    }
+
+    #[test]
+    #[should_panic(expected = "band must be in (0, 1)")]
+    fn zero_band_is_rejected() {
+        let _ = EpochParams::new(Params::new(10)).with_band(0.0);
+    }
+}

@@ -26,6 +26,10 @@
 //!   defaults (`c_wait = 2`, `c_live = 4`).
 //! * [`audit`] — analytic and observed state-space accounting backing the
 //!   space claims.
+//! * [`epoch`] — [`epoch::EpochParams`], the hysteresis
+//!   layer that re-derives `Params` when a *dynamic* population's live
+//!   count drifts past a band (the `crates/dynamic` engine's regime
+//!   handoff).
 //!
 //! # Example: self-stabilizing ranking from garbage
 //!
@@ -46,10 +50,12 @@
 
 pub mod audit;
 pub mod base;
+pub mod epoch;
 pub mod fseq;
 pub mod params;
 pub mod space_efficient;
 pub mod stable;
 
+pub use epoch::EpochParams;
 pub use fseq::FSeq;
 pub use params::Params;

@@ -204,6 +204,16 @@ impl StableRanking {
         })
     }
 
+    /// The clean-start elector state `q_{0,i}` with the given synthetic
+    /// coin — the state a *freshly joined* agent enters the population
+    /// in. This is the per-agent building block of
+    /// [`initial`](StableRanking::initial), exposed so the dynamic
+    /// engine (`crates/dynamic`) can spawn arrivals and locally re-seed
+    /// agents whose state fell outside the space on an epoch shrink.
+    pub fn elector(&self, coin: bool) -> StableState {
+        self.elect_state(coin)
+    }
+
     fn phase_state(&self, coin: bool, alive: u32, k: u32) -> StableState {
         StableState::Un(UnState {
             coin,

@@ -1,0 +1,116 @@
+//! The per-agent lifecycle: phases, the roster record, and their wire
+//! codec tags.
+//!
+//! A dynamic population distinguishes the *lane* (the dense array of
+//! states the protocol actually interacts over) from the *roster* (one
+//! [`AgentRecord`] per agent id ever allocated). Agent ids are stable
+//! across lane compaction — the engine's probe callbacks and traces
+//! speak ids, so one agent can be followed across hibernation and
+//! revival even though its lane slot changes every time another agent's
+//! departure compacts the lane.
+
+/// An agent's membership phase.
+///
+/// ```text
+/// Spawning ──▶ Active ──▶ Hibernating ──▶ Dormant ──▶ (revived) Active
+///                │                                        │
+///                └──────────────▶ Departed ◀──────────────┘ (never: a
+///                                               dormant agent only revives)
+/// ```
+///
+/// `Spawning` is the in-construction phase between id allocation and
+/// lane entry; within this engine both happen at the same arrival
+/// boundary, so the phase is transient but kept explicit so the roster
+/// codec and any external driver share one vocabulary. `Departed`
+/// records are tombstones whose ids are recycled through the free-id
+/// list.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Lifecycle {
+    /// Allocated but not yet interacting (pre-lane).
+    Spawning,
+    /// In the active lane, interacting.
+    Active,
+    /// Out of the lane, state parked, rank still reserved; will go
+    /// dormant when its dwell elapses.
+    Hibernating,
+    /// Out of the lane with its rank released; will revive later.
+    Dormant,
+    /// Gone for good; the id is (or will be) recycled.
+    Departed,
+}
+
+impl Lifecycle {
+    /// Wire tag for the DYNPOP roster codec.
+    pub fn tag(self) -> u16 {
+        match self {
+            Lifecycle::Spawning => 0,
+            Lifecycle::Active => 1,
+            Lifecycle::Hibernating => 2,
+            Lifecycle::Dormant => 3,
+            Lifecycle::Departed => 4,
+        }
+    }
+
+    /// Inverse of [`tag`](Lifecycle::tag).
+    pub fn from_tag(tag: u16) -> Option<Self> {
+        Some(match tag {
+            0 => Lifecycle::Spawning,
+            1 => Lifecycle::Active,
+            2 => Lifecycle::Hibernating,
+            3 => Lifecycle::Dormant,
+            4 => Lifecycle::Departed,
+            _ => return None,
+        })
+    }
+}
+
+/// One roster entry: everything the engine tracks about an agent beyond
+/// its in-lane state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AgentRecord {
+    /// Current membership phase.
+    pub phase: Lifecycle,
+    /// Lane slot while [`Lifecycle::Active`]; meaningless otherwise.
+    pub slot: u32,
+    /// Interaction count of the next lifecycle transition
+    /// (departure / dormancy / revival); `u64::MAX` = never.
+    pub due: u64,
+    /// The parked state word while out of the lane
+    /// ([`Lifecycle::Hibernating`] / [`Lifecycle::Dormant`]).
+    pub parked: u64,
+    /// The rank the agent held when it left the lane, until released to
+    /// the free-list at the hibernating → dormant transition.
+    pub rank: Option<u64>,
+}
+
+impl AgentRecord {
+    /// A live record entering the lane at `slot`, departing at `due`.
+    pub fn active(slot: u32, due: u64) -> Self {
+        Self {
+            phase: Lifecycle::Active,
+            slot,
+            due,
+            parked: 0,
+            rank: None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tags_round_trip() {
+        for phase in [
+            Lifecycle::Spawning,
+            Lifecycle::Active,
+            Lifecycle::Hibernating,
+            Lifecycle::Dormant,
+            Lifecycle::Departed,
+        ] {
+            assert_eq!(Lifecycle::from_tag(phase.tag()), Some(phase));
+        }
+        assert_eq!(Lifecycle::from_tag(5), None);
+    }
+}

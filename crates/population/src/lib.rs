@@ -160,7 +160,7 @@ pub use observe::{
     Control, HonestRanking, Observer, ShardObserver, ShardedRanking, ShardedSilence,
 };
 pub use pairs::pair_mut;
-pub use probe::{NullProbe, Probe};
+pub use probe::{Membership, NullProbe, Probe};
 pub use protocol::{
     BatchedProtocol, HonestOutput, Packed, PackedProtocol, Protocol, RankOutput, ScalarBlock,
 };

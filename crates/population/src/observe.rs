@@ -174,6 +174,14 @@ impl<F, T> Series<F, T> {
         }
     }
 
+    /// Resume recording with previously captured rows — the restore
+    /// side of checkpointing a long *measured* run (the `snapshot`
+    /// crate's observer-partials codec round-trips `rows` through the
+    /// OBSERVER snapshot section).
+    pub fn with_rows(metric: F, rows: Vec<(u64, T)>) -> Self {
+        Self { metric, rows }
+    }
+
     /// The recorded `(t, value)` rows.
     pub fn rows(&self) -> &[(u64, T)] {
         &self.rows
@@ -213,6 +221,32 @@ impl<F> Thresholds<F> {
             targets,
             crossings,
         }
+    }
+
+    /// Resume tracking with previously captured crossings — the
+    /// restore side of checkpointing a long measured run (see
+    /// [`Series::with_rows`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `crossings.len() != targets.len()`: a crossing list
+    /// from a different target set cannot be adopted.
+    pub fn with_crossings(metric: F, targets: Vec<u64>, crossings: Vec<Option<u64>>) -> Self {
+        assert_eq!(
+            targets.len(),
+            crossings.len(),
+            "crossings must match targets one-to-one"
+        );
+        Self {
+            metric,
+            targets,
+            crossings,
+        }
+    }
+
+    /// The tracked targets.
+    pub fn targets(&self) -> &[u64] {
+        &self.targets
     }
 
     /// Crossing time per target (`None` where the budget ran out first).

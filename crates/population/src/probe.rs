@@ -26,6 +26,24 @@
 
 use crate::protocol::Protocol;
 
+/// A lifecycle change of one agent in a *dynamic* population — the
+/// payload of [`Probe::membership`]. The fixed-n engines never emit
+/// these; the `crates/dynamic` engine emits one per join, leave,
+/// hibernation, and revival, and the `telemetry` crate's `Recorder`
+/// maps them onto its structured event kinds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Membership {
+    /// A fresh agent entered the active lane.
+    Join,
+    /// An agent left the population for good (its rank, if any, was
+    /// released by the engine).
+    Leave,
+    /// An agent left the active lane but may return (rank reserved).
+    Hibernate,
+    /// A dormant agent re-entered the active lane.
+    Revive,
+}
+
 /// Observation hooks invoked by the probed run paths at the engine's
 /// natural boundaries. All hooks are read-only: a probe can never change
 /// what the engine computes, only record it.
@@ -83,6 +101,15 @@ pub trait Probe<P: Protocol> {
     fn fault(&mut self, protocol: &P, t: u64, states: &[P::State]) {
         let _ = (protocol, t, states);
     }
+
+    /// A dynamic-population engine changed agent `agent`'s membership at
+    /// interaction count `t` (see [`Membership`]). `agent` is the
+    /// engine's stable agent id, not a lane index — ids outlive lane
+    /// compaction, so a probe can track one agent across hibernation
+    /// and revival. Never called by the fixed-n engines.
+    fn membership(&mut self, protocol: &P, t: u64, agent: u32, change: Membership) {
+        let _ = (protocol, t, agent, change);
+    }
 }
 
 /// The disabled probe: observes nothing, costs nothing.
@@ -126,6 +153,10 @@ impl<P: Protocol, B: Probe<P>> Probe<P> for &mut B {
     fn fault(&mut self, protocol: &P, t: u64, states: &[P::State]) {
         (**self).fault(protocol, t, states);
     }
+
+    fn membership(&mut self, protocol: &P, t: u64, agent: u32, change: Membership) {
+        (**self).membership(protocol, t, agent, change);
+    }
 }
 
 #[cfg(test)]
@@ -153,6 +184,9 @@ mod tests {
         fn fault(&mut self, _: &Noop, _: u64, _: &[u8]) {
             self.0.push("fault");
         }
+        fn membership(&mut self, _: &Noop, _: u64, _: u32, _: Membership) {
+            self.0.push("membership");
+        }
     }
 
     #[test]
@@ -172,6 +206,7 @@ mod tests {
         Probe::<Noop>::block(&mut fwd, &Noop, 1, 0, 0, 0, &[]);
         Probe::<Noop>::exchange(&mut fwd, &Noop, 1, 0); // default body
         Probe::<Noop>::fault(&mut fwd, &Noop, 2, &[]);
-        assert_eq!(log.0, ["block", "fault"]);
+        Probe::<Noop>::membership(&mut fwd, &Noop, 3, 7, Membership::Join);
+        assert_eq!(log.0, ["block", "fault", "membership"]);
     }
 }

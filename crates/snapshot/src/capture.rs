@@ -253,6 +253,7 @@ mod tests {
             frame: sim.frame(),
             fault: None,
             observer: Vec::new(),
+            dynpop: Vec::new(),
         }
     }
 
@@ -299,6 +300,7 @@ mod tests {
             frame: sharded.frame(),
             fault: None,
             observer: Vec::new(),
+            dynpop: Vec::new(),
         };
         assert!(matches!(
             resume_simulator(Ident(16), &snap),

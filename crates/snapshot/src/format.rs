@@ -17,9 +17,10 @@
 //! | 3  | CURSORS  | per-shard scheduler cursors (RNG + pending pairs)|
 //! | 4  | FAULT    | fault-plan RNG, next-fire times, fired log       |
 //! | 5  | OBSERVER | opaque driver bytes (e.g. recovery events)       |
+//! | 6  | DYNPOP   | dynamic-population engine state (roster, leases) |
 //!
-//! META, STATES, and CURSORS are mandatory; FAULT and OBSERVER appear
-//! only when the run carries them. Unknown section ids are *skipped*
+//! META, STATES, and CURSORS are mandatory; FAULT, OBSERVER, and DYNPOP
+//! appear only when the run carries them. Unknown section ids are *skipped*
 //! (CRC still checked), so older readers degrade gracefully on newer
 //! writers within a version.
 //!
@@ -48,6 +49,7 @@ const SECTION_STATES: u16 = 2;
 const SECTION_CURSORS: u16 = 3;
 const SECTION_FAULT: u16 = 4;
 const SECTION_OBSERVER: u16 = 5;
+const SECTION_DYNPOP: u16 = 6;
 
 /// Everything that can be wrong with a snapshot file. The loader
 /// reports, never panics: corrupt input is an expected condition here.
@@ -166,6 +168,10 @@ pub struct SimSnapshot {
     pub fault: Option<FaultState>,
     /// Opaque driver bytes (e.g. encoded recovery events).
     pub observer: Vec<u8>,
+    /// Dynamic-population engine state (epoch, lifecycle roster, rank
+    /// free-list, churn RNG cursor), encoded by `crates/dynamic`. Empty
+    /// for fixed-n runs; the section is written only when non-empty.
+    pub dynpop: Vec<u8>,
 }
 
 fn section(out: &mut Writer, id: u16, payload: &[u8]) {
@@ -331,6 +337,9 @@ impl SimSnapshot {
         if !self.observer.is_empty() {
             sections.push((SECTION_OBSERVER, self.observer.clone()));
         }
+        if !self.dynpop.is_empty() {
+            sections.push((SECTION_DYNPOP, self.dynpop.clone()));
+        }
         let mut out = Writer::new();
         out.bytes(&MAGIC);
         out.u32(SNAPSHOT_VERSION);
@@ -361,6 +370,7 @@ impl SimSnapshot {
         let mut cursors = None;
         let mut fault = None;
         let mut observer = Vec::new();
+        let mut dynpop = Vec::new();
         for _ in 0..n_sections {
             let head = r.take(12)?;
             let mut h = Reader::new(head, "section header");
@@ -399,6 +409,7 @@ impl SimSnapshot {
                 SECTION_CURSORS => cursors = Some(decode_cursors(payload)?),
                 SECTION_FAULT => fault = Some(decode_fault(payload)?),
                 SECTION_OBSERVER => observer = payload.to_vec(),
+                SECTION_DYNPOP => dynpop = payload.to_vec(),
                 // Unknown sections: CRC already verified, content skipped.
                 _ => {}
             }
@@ -431,6 +442,7 @@ impl SimSnapshot {
             },
             fault,
             observer,
+            dynpop,
         })
     }
 
@@ -447,6 +459,7 @@ fn section_name(id: u16) -> String {
         SECTION_CURSORS => "CURSORS".into(),
         SECTION_FAULT => "FAULT".into(),
         SECTION_OBSERVER => "OBSERVER".into(),
+        SECTION_DYNPOP => "DYNPOP".into(),
         other => format!("id {other}"),
     }
 }
@@ -490,6 +503,7 @@ mod tests {
                 fired: vec![(100, "corrupt".into())],
             }),
             observer: vec![0xDE, 0xAD],
+            dynpop: vec![0xBE, 0xEF, 0x01],
         }
     }
 
@@ -501,6 +515,7 @@ mod tests {
         assert_eq!(decoded.frame, snap.frame);
         assert_eq!(decoded.fault, snap.fault);
         assert_eq!(decoded.observer, snap.observer);
+        assert_eq!(decoded.dynpop, snap.dynpop);
     }
 
     #[test]
@@ -508,9 +523,11 @@ mod tests {
         let mut snap = sample();
         snap.fault = None;
         snap.observer = Vec::new();
+        snap.dynpop = Vec::new();
         let decoded = SimSnapshot::decode(&snap.encode()).expect("round trip");
         assert!(decoded.fault.is_none());
         assert!(decoded.observer.is_empty());
+        assert!(decoded.dynpop.is_empty());
     }
 
     #[test]

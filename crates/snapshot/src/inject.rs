@@ -116,6 +116,7 @@ mod tests {
             },
             fault: None,
             observer: Vec::new(),
+            dynpop: Vec::new(),
         };
         std::fs::write(&path, snap.encode()).unwrap();
         path

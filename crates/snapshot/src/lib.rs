@@ -37,6 +37,9 @@
 //!   state is *verified*, not trusted);
 //! * [`mod@inject`] — deliberate snapshot corruption (torn / bitflip /
 //!   crc_flip / stale_version) for testing the loader's fallback ladder;
+//! * [`partials`] — [`ObserverPartials`], the OBSERVER-section codec for
+//!   resumable measurement state (`Series` rows, `Thresholds` crossings)
+//!   so long measured runs survive restarts;
 //! * [`sweep`] — [`SweepLog`], the append-only torn-tail-tolerant
 //!   completion log for kill-and-resume sweeps.
 //!
@@ -53,6 +56,7 @@ pub mod capture;
 pub mod crc;
 pub mod format;
 pub mod inject;
+pub mod partials;
 pub mod rotation;
 pub mod sink;
 pub mod sweep;
@@ -64,6 +68,7 @@ pub use capture::{
 pub use crc::{crc64, Crc64};
 pub use format::{Meta, SimSnapshot, SnapshotError, MAGIC, SNAPSHOT_VERSION};
 pub use inject::inject;
+pub use partials::ObserverPartials;
 pub use rotation::{Loaded, Rotation, DEFAULT_KEEP};
 pub use sink::SnapshotSink;
 pub use sweep::{SweepLog, UNRECOVERED};

@@ -1,0 +1,204 @@
+//! Observer-partials codec: the resumable state of the *measurement*
+//! observers, round-tripped through the snapshot OBSERVER section.
+//!
+//! Detector observers (`Convergence`, `Silence`) are cheap to re-arm,
+//! but a long **measured** run accumulates state that a restart would
+//! silently discard: the `(t, value)` rows of a
+//! [`Series`](population::observe::Series) and the per-target crossing
+//! times of a [`Thresholds`](population::observe::Thresholds) tracker.
+//! [`ObserverPartials`] packages both, [`ObserverPartials::to_bytes`]
+//! encodes them with the same bounds-checked little-endian codec the
+//! rest of the format uses, and the bytes ride in the snapshot's
+//! OBSERVER section (already CRC-covered, so corruption is detected at
+//! the section layer; structural defects inside a CRC-clean payload are
+//! caught here). On restore, feed the decoded fields back through
+//! `Series::with_rows` / `Thresholds::with_crossings`.
+
+use crate::bytes::{Reader, Writer};
+use crate::format::SnapshotError;
+
+/// The restorable partial state of a measured run's observer stack:
+/// series rows plus threshold targets and their crossing times.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ObserverPartials {
+    /// `Series` rows recorded so far, one `(t, value)` per checkpoint.
+    pub rows: Vec<(u64, u64)>,
+    /// `Thresholds` targets being tracked (empty if no tracker).
+    pub targets: Vec<u64>,
+    /// Crossing time per target; `None` where not yet crossed. Must be
+    /// the same length as `targets` — the codec enforces this.
+    pub crossings: Vec<Option<u64>>,
+}
+
+impl ObserverPartials {
+    /// Whether there is anything worth persisting.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty() && self.targets.is_empty()
+    }
+
+    /// Encode to the OBSERVER-section byte payload.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `crossings.len() != targets.len()` — such a value
+    /// could never have come from a `Thresholds` tracker.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        assert_eq!(
+            self.targets.len(),
+            self.crossings.len(),
+            "crossings must match targets one-to-one"
+        );
+        let mut w = Writer::new();
+        w.u32(self.rows.len() as u32);
+        for &(t, v) in &self.rows {
+            w.u64(t);
+            w.u64(v);
+        }
+        w.u32(self.targets.len() as u32);
+        for (&target, crossing) in self.targets.iter().zip(&self.crossings) {
+            w.u64(target);
+            match crossing {
+                Some(t) => {
+                    w.u16(1);
+                    w.u64(*t);
+                }
+                None => w.u16(0),
+            }
+        }
+        w.into_bytes()
+    }
+
+    /// Decode from an OBSERVER-section payload. Never panics: every
+    /// defect (truncation, overrunning counts, a bad crossing tag,
+    /// trailing garbage) surfaces as a [`SnapshotError`].
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, SnapshotError> {
+        let mut r = Reader::new(bytes, "observer partials");
+        let n_rows = r.count(16)?;
+        let mut rows = Vec::with_capacity(n_rows);
+        for _ in 0..n_rows {
+            rows.push((r.u64()?, r.u64()?));
+        }
+        let n_targets = r.count(10)?;
+        let mut targets = Vec::with_capacity(n_targets);
+        let mut crossings = Vec::with_capacity(n_targets);
+        for _ in 0..n_targets {
+            targets.push(r.u64()?);
+            crossings.push(match r.u16()? {
+                0 => None,
+                1 => Some(r.u64()?),
+                tag => {
+                    return Err(SnapshotError::Malformed(format!(
+                        "observer partials: bad crossing tag {tag}"
+                    )))
+                }
+            });
+        }
+        if r.remaining() > 0 {
+            return Err(SnapshotError::Malformed(format!(
+                "observer partials: {} trailing bytes",
+                r.remaining()
+            )));
+        }
+        Ok(Self {
+            rows,
+            targets,
+            crossings,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::format::{Meta, SimSnapshot};
+    use population::observe::{Series, Thresholds};
+    use population::{Frame, ScheduleCursor};
+
+    fn sample() -> ObserverPartials {
+        ObserverPartials {
+            rows: vec![(1_000, 3), (2_000, 17), (3_000, 64)],
+            targets: vec![16, 32, 64],
+            crossings: vec![Some(1_500), Some(2_800), None],
+        }
+    }
+
+    #[test]
+    fn round_trips() {
+        let p = sample();
+        assert_eq!(ObserverPartials::from_bytes(&p.to_bytes()).unwrap(), p);
+        let empty = ObserverPartials::default();
+        assert!(empty.is_empty());
+        assert_eq!(
+            ObserverPartials::from_bytes(&empty.to_bytes()).unwrap(),
+            empty
+        );
+    }
+
+    #[test]
+    fn survives_a_full_snapshot_round_trip() {
+        let snap = SimSnapshot {
+            meta: Meta::bare("partials-test", 11),
+            frame: Frame {
+                interactions: 5_000,
+                shards: 1,
+                block_pairs: 4096,
+                words: vec![0; 8],
+                cursors: vec![ScheduleCursor {
+                    rng: [1, 2, 3, 4],
+                    n: 8,
+                    start: 0,
+                    len: 8,
+                    pending: Vec::new(),
+                }],
+            },
+            fault: None,
+            observer: sample().to_bytes(),
+            dynpop: Vec::new(),
+        };
+        let decoded = SimSnapshot::decode(&snap.encode()).unwrap();
+        let p = ObserverPartials::from_bytes(&decoded.observer).unwrap();
+        assert_eq!(p, sample());
+        // And the decoded fields re-arm live observers.
+        let series = Series::with_rows(|s: &[u64]| s.len() as u64, p.rows.clone());
+        assert_eq!(series.rows(), &p.rows[..]);
+        let thresholds =
+            Thresholds::with_crossings(|s: &[u64]| s.len() as u64, p.targets, p.crossings);
+        assert_eq!(thresholds.crossings()[2], None);
+    }
+
+    #[test]
+    fn every_truncation_point_errors_cleanly() {
+        let bytes = sample().to_bytes();
+        for cut in 0..bytes.len() {
+            assert!(
+                ObserverPartials::from_bytes(&bytes[..cut]).is_err(),
+                "cut at {cut} must error"
+            );
+        }
+    }
+
+    #[test]
+    fn bad_tag_and_trailing_bytes_are_rejected() {
+        let mut bytes = sample().to_bytes();
+        let tag_at = bytes.len() - 2; // last entry's crossing tag (None, 2 bytes)
+        bytes[tag_at] = 7;
+        assert!(matches!(
+            ObserverPartials::from_bytes(&bytes),
+            Err(SnapshotError::Malformed(_))
+        ));
+        let mut bytes = sample().to_bytes();
+        bytes.push(0);
+        assert!(matches!(
+            ObserverPartials::from_bytes(&bytes),
+            Err(SnapshotError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "one-to-one")]
+    fn mismatched_crossings_cannot_encode() {
+        let mut p = sample();
+        p.crossings.pop();
+        let _ = p.to_bytes();
+    }
+}

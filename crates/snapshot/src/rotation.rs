@@ -165,6 +165,7 @@ mod tests {
             },
             fault: None,
             observer: Vec::new(),
+            dynpop: Vec::new(),
         }
     }
 

@@ -86,6 +86,7 @@ impl Checkpointer for SnapshotSink {
             frame: frame.clone(),
             fault: fault.cloned(),
             observer: self.observer.clone(),
+            dynpop: Vec::new(),
         };
         match self.rotation.save(&snapshot) {
             Ok(_) => self.saves += 1,

@@ -102,6 +102,15 @@ pub enum EventKind {
         /// Whether the run stopped at this checkpoint.
         stopping: bool,
     },
+    /// A fresh agent joined a dynamic population's active lane.
+    Join,
+    /// An agent left a dynamic population for good (rank released by
+    /// the engine into its free-list).
+    Leave,
+    /// An agent left the active lane but may return (rank reserved).
+    Hibernate,
+    /// A dormant agent re-entered the active lane.
+    Revive,
 }
 
 impl EventKind {
@@ -116,6 +125,10 @@ impl EventKind {
             EventKind::Fault { .. } => "fault",
             EventKind::Exchange { .. } => "exchange",
             EventKind::Checkpoint { .. } => "checkpoint",
+            EventKind::Join => "join",
+            EventKind::Leave => "leave",
+            EventKind::Hibernate => "hibernate",
+            EventKind::Revive => "revive",
         }
     }
 }
@@ -135,6 +148,10 @@ mod tests {
             EventKind::Fault { hit: 0, name: None },
             EventKind::Exchange { pairs: 0 },
             EventKind::Checkpoint { stopping: false },
+            EventKind::Join,
+            EventKind::Leave,
+            EventKind::Hibernate,
+            EventKind::Revive,
         ];
         let names: Vec<_> = kinds.iter().map(EventKind::name).collect();
         let mut dedup = names.clone();

@@ -4,7 +4,7 @@
 //! (time-between-reset-waves, per-rank occupancy dwell) into its own
 //! metrics [`Registry`].
 
-use population::{Probe, Protocol};
+use population::{Membership, Probe, Protocol};
 
 use crate::event::{AgentClass, Event, EventKind, TraceState, NO_AGENT};
 use crate::metrics::{Counter, Histogram, Registry};
@@ -144,6 +144,40 @@ impl Recorder {
                 }
             }
         }
+    }
+
+    /// Record a dynamic-population lifecycle change for agent `agent`
+    /// (also reachable through [`Probe::membership`]). Departures
+    /// ([`Membership::Leave`] / [`Membership::Hibernate`]) clear the
+    /// agent's stored class baseline: the dynamic engine recycles agent
+    /// ids, so a recycled id must re-baseline on next sight rather than
+    /// diff against its predecessor's class. A departure while ranked
+    /// closes the agent's `rank_dwell` interval, since no `RankRelease`
+    /// diff will ever be observed for it.
+    pub fn lifecycle(&mut self, t: u64, agent: u32, change: Membership) {
+        if matches!(change, Membership::Leave | Membership::Hibernate) {
+            if let Some(slot) = self.classes.get_mut(agent as usize) {
+                if let Some(AgentClass::Ranked(_)) = *slot {
+                    self.rank_dwell.record(t - self.claimed_at[agent as usize]);
+                }
+                *slot = None;
+            }
+        }
+        let kind = match change {
+            Membership::Join => EventKind::Join,
+            Membership::Leave => EventKind::Leave,
+            Membership::Hibernate => EventKind::Hibernate,
+            Membership::Revive => EventKind::Revive,
+        };
+        self.push(
+            0,
+            Event {
+                t,
+                shard: 0,
+                agent,
+                kind,
+            },
+        );
     }
 
     fn push(&mut self, shard: usize, event: Event) {
@@ -307,6 +341,10 @@ where
             },
         );
     }
+
+    fn membership(&mut self, _protocol: &P, t: u64, agent: u32, change: Membership) {
+        self.lifecycle(t, agent, change);
+    }
 }
 
 #[cfg(test)]
@@ -432,6 +470,48 @@ mod tests {
                 hit: 3,
                 name: Some("corrupt")
             }
+        );
+    }
+
+    #[test]
+    fn lifecycle_events_rebaseline_recycled_ids() {
+        let mut rec = Recorder::new();
+        rec.scan(
+            0,
+            0,
+            0,
+            &[AgentClass::Ranked(2), AgentClass::Waiting],
+            false,
+        );
+        // Agent 0 leaves while ranked: the dwell interval closes and the
+        // baseline clears, so a recycled id produces no spurious diff.
+        rec.lifecycle(30, 0, Membership::Leave);
+        let snap = rec.metrics().snapshot();
+        assert_eq!(snap.histogram("rank_dwell").unwrap().sum, 30);
+        rec.scan(
+            40,
+            0,
+            0,
+            &[AgentClass::Electing, AgentClass::Waiting],
+            false,
+        );
+        let kinds: Vec<EventKind> = rec.events().iter().map(|e| e.kind).collect();
+        assert_eq!(kinds, vec![EventKind::Leave], "recycled slot re-baselines");
+        assert_eq!(rec.events()[0].agent, 0);
+
+        // Hibernate also clears; revive and join map straight through.
+        rec.lifecycle(50, 1, Membership::Hibernate);
+        rec.lifecycle(60, 1, Membership::Revive);
+        rec.lifecycle(60, 2, Membership::Join);
+        let kinds: Vec<EventKind> = rec.events().iter().map(|e| e.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                EventKind::Leave,
+                EventKind::Hibernate,
+                EventKind::Revive,
+                EventKind::Join,
+            ]
         );
     }
 

@@ -10,8 +10,9 @@
 //!    `dropped`);
 //! 2. at most one `manifest` line (flattened [`RunManifest`] fields);
 //! 3. event lines (`reset`, `elected`, `phase_enter`, `rank_claim`,
-//!    `rank_release`, `fault`, `exchange`, `checkpoint`) whose `t`
-//!    fields are monotone nondecreasing;
+//!    `rank_release`, `fault`, `exchange`, `checkpoint`, and — since
+//!    schema v2 — the lifecycle kinds `join`, `leave`, `hibernate`,
+//!    `revive`) whose `t` fields are monotone nondecreasing;
 //! 4. `metric` and `histogram` lines snapshotting the run's registries.
 //!
 //! The format is hand-rendered and hand-parsed — the workspace
@@ -28,7 +29,10 @@ use crate::metrics::Snapshot;
 /// Version of the trace schema emitted and accepted by this build.
 /// Bump on any change to line kinds or required fields, and record the
 /// change in `docs/OBSERVABILITY.md`.
-pub const SCHEMA_VERSION: u64 = 1;
+///
+/// v2 added the four dynamic-population lifecycle kinds (`join`,
+/// `leave`, `hibernate`, `revive`).
+pub const SCHEMA_VERSION: u64 = 2;
 
 // ----------------------------------------------------------------------
 // Rendering
@@ -74,7 +78,12 @@ fn push_event(out: &mut String, e: &Event) {
         }
         EventKind::Exchange { pairs } => out.push_str(&format!(",\"pairs\":{pairs}")),
         EventKind::Checkpoint { stopping } => out.push_str(&format!(",\"stopping\":{stopping}")),
-        EventKind::Reset | EventKind::Elected => {}
+        EventKind::Reset
+        | EventKind::Elected
+        | EventKind::Join
+        | EventKind::Leave
+        | EventKind::Hibernate
+        | EventKind::Revive => {}
     }
     out.push_str("}\n");
 }
@@ -395,7 +404,7 @@ pub struct TraceSummary {
     pub faults: Vec<(u64, Option<String>)>,
 }
 
-const EVENT_KINDS: [&str; 8] = [
+const EVENT_KINDS: [&str; 12] = [
     "reset",
     "elected",
     "phase_enter",
@@ -404,6 +413,10 @@ const EVENT_KINDS: [&str; 8] = [
     "fault",
     "exchange",
     "checkpoint",
+    "join",
+    "leave",
+    "hibernate",
+    "revive",
 ];
 
 fn require_u64(
@@ -527,7 +540,7 @@ pub fn validate(text: &str) -> Result<TraceSummary, SchemaError> {
                 last_t = Some(t);
                 require_u64(&map, "shard", line)?;
                 match k {
-                    "reset" | "elected" => {
+                    "reset" | "elected" | "join" | "leave" | "hibernate" | "revive" => {
                         require_u64(&map, "agent", line)?;
                     }
                     "phase_enter" => {
@@ -630,6 +643,30 @@ mod tests {
                 agent: NO_AGENT,
                 kind: EventKind::Checkpoint { stopping: true },
             },
+            Event {
+                t: 41,
+                shard: 0,
+                agent: 17,
+                kind: EventKind::Join,
+            },
+            Event {
+                t: 55,
+                shard: 0,
+                agent: 17,
+                kind: EventKind::Leave,
+            },
+            Event {
+                t: 55,
+                shard: 0,
+                agent: 2,
+                kind: EventKind::Hibernate,
+            },
+            Event {
+                t: 60,
+                shard: 0,
+                agent: 2,
+                kind: EventKind::Revive,
+            },
         ]
     }
 
@@ -641,10 +678,14 @@ mod tests {
         let text = render_trace(&sample_events(), &[reg.snapshot()], None, 2);
         let summary = validate(&text).expect("must validate");
         assert_eq!(summary.version, SCHEMA_VERSION);
-        assert_eq!(summary.events, 5);
+        assert_eq!(summary.events, 9);
         assert_eq!(summary.dropped, 2);
-        assert_eq!(summary.t_range, Some((10, 40)));
+        assert_eq!(summary.t_range, Some((10, 60)));
         assert_eq!(summary.by_kind["reset"], 1);
+        assert_eq!(summary.by_kind["join"], 1);
+        assert_eq!(summary.by_kind["leave"], 1);
+        assert_eq!(summary.by_kind["hibernate"], 1);
+        assert_eq!(summary.by_kind["revive"], 1);
         assert_eq!(summary.faults, vec![(25, Some("corrupt".to_string()))]);
     }
 
@@ -678,7 +719,7 @@ mod tests {
     fn missing_fields_are_rejected() {
         let text = format!(
             "{}\n{}\n",
-            "{\"kind\":\"header\",\"schema\":\"ssr-trace\",\"version\":1,\"events\":1,\"dropped\":0}",
+            "{\"kind\":\"header\",\"schema\":\"ssr-trace\",\"version\":2,\"events\":1,\"dropped\":0}",
             "{\"kind\":\"rank_claim\",\"t\":5,\"shard\":0,\"agent\":1}"
         );
         let err = validate(&text).unwrap_err();
@@ -696,7 +737,7 @@ mod tests {
     #[test]
     fn unknown_kinds_and_headerless_traces_are_rejected() {
         assert!(validate("").is_err());
-        let text = "{\"kind\":\"header\",\"schema\":\"ssr-trace\",\"version\":1,\"events\":0,\"dropped\":0}\n{\"kind\":\"mystery\"}\n";
+        let text = "{\"kind\":\"header\",\"schema\":\"ssr-trace\",\"version\":2,\"events\":0,\"dropped\":0}\n{\"kind\":\"mystery\"}\n";
         let err = validate(text).unwrap_err();
         assert!(err.message.contains("unknown kind"), "{err}");
     }

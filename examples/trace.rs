@@ -113,6 +113,10 @@ fn main() {
             ),
             EventKind::Exchange { pairs } => format!("exchange of {pairs} boundary pairs"),
             EventKind::Checkpoint { stopping } => format!("checkpoint (stopping: {stopping})"),
+            EventKind::Join => "joins the population".to_string(),
+            EventKind::Leave => "leaves the population".to_string(),
+            EventKind::Hibernate => "hibernates".to_string(),
+            EventKind::Revive => "revives".to_string(),
         };
         let agent = if e.agent == silent_ranking::telemetry::NO_AGENT {
             "  (all)".to_string()

@@ -18,6 +18,11 @@
 //!   engine).
 //! * [`shard`] — the sharded multi-threaded single-run simulator
 //!   (per-shard sub-schedules + boundary-pair exchange).
+//! * [`dynamic`] — dynamic populations: agent lifecycle
+//!   (`Spawning → Active → Hibernating → Dormant → revived`), M/M/∞
+//!   churn, epoch-based re-parameterization, and rank leasing, with a
+//!   zero-churn path bit-identical to the fixed-n engine. See
+//!   `docs/DYNAMICS.md`.
 //! * [`snapshot`] — crash-consistent checkpoint/restore: versioned
 //!   CRC-checked snapshot files, rotation directories with graceful
 //!   fallback past corruption, corruption injection for testing, and
@@ -47,6 +52,7 @@
 
 pub use analysis;
 pub use baselines;
+pub use dynamic;
 pub use leader_election;
 pub use population;
 pub use ranking;
