@@ -8,11 +8,15 @@
 //!    `T = Θ(n² log n)` (experiments E3/E11);
 //! 3. [`bounds`] — the paper's Appendix A tail bounds (Lemmas 12–14) as
 //!    executable formulas, so tests and experiments can compare measured
-//!    hitting times against the analytic guarantees.
+//!    hitting times against the analytic guarantees;
+//! 4. [`spectral`] — spectral-gap estimation for interaction graphs
+//!    (power iteration on the lazy normalized adjacency), the x-axis of
+//!    the topology benchmarks.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod bounds;
 pub mod fit;
+pub mod spectral;
 pub mod stats;

@@ -67,6 +67,23 @@ const FRACTIONS: [(u64, u64, &str); 3] = [(1, 2, "1/2"), (3, 4, "3/4"), (15, 16,
 /// The scheduler kinds compared, in table order.
 const KINDS: [&str; 4] = ["uniform", "biased", "clustered", "round_robin"];
 
+/// The effective interaction topology each scheduler induces, recorded
+/// per measurement in `BENCH_sched.json`. Every scheduler here can
+/// propose *any* ordered pair — they all assume the complete graph and
+/// differ only in the distribution over its edges. Graph-*restricted*
+/// scheduling (pairs drawn from a sparse edge set) is the `topology`
+/// crate's `GraphSchedule`, benched separately in `BENCH_topo.json`;
+/// see `docs/TOPOLOGY.md`.
+fn topology_assumption(kind: &str) -> &'static str {
+    match kind {
+        "uniform" => "complete graph, uniform over ordered pairs",
+        "biased" => "complete graph, non-uniform (hot set favored)",
+        "clustered" => "complete graph, non-uniform (thin cut between clusters)",
+        "round_robin" => "complete graph, deterministic cyclic order",
+        other => unreachable!("unknown scheduler kind {other}"),
+    }
+}
+
 /// Per-seed outcome: fractional crossing times plus the stabilization
 /// (valid-ranking) time, all in interactions.
 #[derive(Clone)]
@@ -222,6 +239,7 @@ fn main() {
             table.push(row);
             measurements.push(Json::obj([
                 ("scheduler", kind.into()),
+                ("topology", topology_assumption(kind).into()),
                 ("n", n.into()),
                 ("stabilized", stab.len().into()),
                 ("runs", runs.into()),

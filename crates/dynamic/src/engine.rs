@@ -584,6 +584,7 @@ impl<P: DynRanking> DynamicPopulation<P> {
             start: 0,
             len: live,
             pending: Vec::new(),
+            topo: Vec::new(),
         });
     }
 
@@ -922,6 +923,7 @@ impl<P: DynRanking> DynamicPopulation<P> {
             start: cursor.start,
             len: cursor.len,
             pending: cursor.pending.clone(),
+            topo: Vec::new(),
         });
         let mut registry = Registry::new();
         let joins = registry.counter("dyn_joins");

@@ -163,6 +163,15 @@ pub struct ScheduleCursor {
     /// engine checkpoints at block boundaries, but the format does not
     /// rely on that).
     pub pending: Vec<Pair>,
+    /// Topology specification words, **empty for the uniform sources**
+    /// ([`Schedule`], [`SubSchedule`]). A graph-restricted source (the
+    /// `topology` crate's `GraphSchedule`) stores its generator
+    /// specification here so the graph — a deterministic function of
+    /// the spec — can be regenerated at restore time instead of being
+    /// serialized edge by edge. Uniform sources reject cursors whose
+    /// `topo` is non-empty: restoring a graph cursor on the clique
+    /// would silently change the pair distribution.
+    pub topo: Vec<u64>,
 }
 
 /// Pair sources whose position can be exported to a [`ScheduleCursor`]
@@ -276,6 +285,7 @@ impl CursorSource for Schedule {
             start: 0,
             len: self.n as u64,
             pending: self.buf.pending().to_vec(),
+            topo: Vec::new(),
         }
     }
 
@@ -283,6 +293,10 @@ impl CursorSource for Schedule {
         assert!(
             cursor.start == 0 && cursor.len == cursor.n,
             "Schedule cursor must cover the full initiator range"
+        );
+        assert!(
+            cursor.topo.is_empty(),
+            "cursor carries a topology spec; restore it with GraphSchedule"
         );
         let n = usize::try_from(cursor.n).expect("population size exceeds usize");
         assert!(n >= 2, "population needs at least two agents");
@@ -429,10 +443,15 @@ impl CursorSource for SubSchedule {
             start: self.start as u64,
             len: self.len as u64,
             pending: self.buf.pending().to_vec(),
+            topo: Vec::new(),
         }
     }
 
     fn from_cursor(cursor: ScheduleCursor) -> Self {
+        assert!(
+            cursor.topo.is_empty(),
+            "cursor carries a topology spec; restore it with GraphSchedule"
+        );
         let n = usize::try_from(cursor.n).expect("population size exceeds usize");
         let start = usize::try_from(cursor.start).expect("range start exceeds usize");
         let len = usize::try_from(cursor.len).expect("range length exceeds usize");

@@ -73,6 +73,26 @@ pub fn resume_simulator<P: WordState>(
     protocol: P,
     snapshot: &SimSnapshot,
 ) -> Result<Simulator<P, Schedule>, SnapshotError> {
+    resume_simulator_with::<P, Schedule>(protocol, snapshot)
+}
+
+/// [`resume_simulator`] generalized over the pair source: restore a
+/// sequential [`Simulator`] whose source is any [`CursorSource`] — the
+/// seam through which graph-restricted schedulers (the `topology`
+/// crate's `GraphSchedule`, whose cursor carries its generator spec in
+/// [`ScheduleCursor::topo`]) resume from the same `SSRSNAP` files as
+/// the uniform scheduler.
+///
+/// The word-level semantic validation (codec, size, cursor geometry) is
+/// identical to [`resume_simulator`]; source-specific cursor validation
+/// lives in the source's own `from_cursor` (which panics on a cursor
+/// its type cannot represent — e.g. restoring a graph cursor as a
+/// uniform [`Schedule`] or vice versa — so cross-source confusion is
+/// loud, never silent).
+pub fn resume_simulator_with<P: WordState, S: CursorSource>(
+    protocol: P,
+    snapshot: &SimSnapshot,
+) -> Result<Simulator<P, S>, SnapshotError> {
     let frame = &snapshot.frame;
     if frame.shards != 1 {
         return Err(SnapshotError::Malformed(format!(
@@ -83,11 +103,11 @@ pub fn resume_simulator<P: WordState>(
     let n = protocol.n();
     check_cursor(&frame.cursors[0], n, 0, n)?;
     let states = decode_states(&protocol, &frame.words)?;
-    let schedule = Schedule::from_cursor(frame.cursors[0].clone());
+    let source = S::from_cursor(frame.cursors[0].clone());
     Ok(Simulator::resume(
         protocol,
         states,
-        schedule,
+        source,
         frame.interactions,
     ))
 }

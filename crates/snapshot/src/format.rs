@@ -14,7 +14,7 @@
 //! |----|----------|--------------------------------------------------|
 //! | 1  | META     | label, seed, run-provenance key/value pairs      |
 //! | 2  | STATES   | interaction count, shards, block size, words     |
-//! | 3  | CURSORS  | per-shard scheduler cursors (RNG + pending pairs)|
+//! | 3  | CURSORS  | per-shard cursors (RNG, pending pairs, topo spec)|
 //! | 4  | FAULT    | fault-plan RNG, next-fire times, fired log       |
 //! | 5  | OBSERVER | opaque driver bytes (e.g. recovery events)       |
 //! | 6  | DYNPOP   | dynamic-population engine state (roster, leases) |
@@ -42,7 +42,11 @@ pub const MAGIC: [u8; 8] = *b"SSRSNAP\0";
 /// Current format version. Bump on any incompatible layout change; the
 /// loader rejects other versions with
 /// [`StaleVersion`](SnapshotError::StaleVersion).
-pub const SNAPSHOT_VERSION: u32 = 1;
+///
+/// History: v1 — the PR 8 original; v2 — each CURSORS entry gained a
+/// trailing topology-spec word list (empty for uniform schedulers), so
+/// graph-restricted pair sources can resume without serializing edges.
+pub const SNAPSHOT_VERSION: u32 = 2;
 
 const SECTION_META: u16 = 1;
 const SECTION_STATES: u16 = 2;
@@ -243,6 +247,10 @@ fn encode_cursors(cursors: &[ScheduleCursor]) -> Vec<u8> {
             w.u32(i);
             w.u32(j);
         }
+        w.u32(c.topo.len() as u32);
+        for &word in &c.topo {
+            w.u64(word);
+        }
     }
     w.into_bytes()
 }
@@ -264,12 +272,18 @@ fn decode_cursors(payload: &[u8]) -> Result<Vec<ScheduleCursor>, SnapshotError> 
         for _ in 0..pending_len {
             pending.push((r.u32()?, r.u32()?));
         }
+        let topo_len = r.count(8)?;
+        let mut topo = Vec::with_capacity(topo_len);
+        for _ in 0..topo_len {
+            topo.push(r.u64()?);
+        }
         cursors.push(ScheduleCursor {
             rng,
             n,
             start,
             len,
             pending,
+            topo,
         });
     }
     Ok(cursors)
@@ -487,6 +501,7 @@ mod tests {
                         start: 0,
                         len: 2,
                         pending: vec![(0, 3)],
+                        topo: vec![9, 10],
                     },
                     ScheduleCursor {
                         rng: [5, 6, 7, 8],
@@ -494,6 +509,7 @@ mod tests {
                         start: 2,
                         len: 2,
                         pending: Vec::new(),
+                        topo: Vec::new(),
                     },
                 ],
             },

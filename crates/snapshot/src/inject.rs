@@ -112,6 +112,7 @@ mod tests {
                     start: 0,
                     len: 64,
                     pending: Vec::new(),
+                    topo: Vec::new(),
                 }],
             },
             fault: None,

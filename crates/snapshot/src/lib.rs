@@ -64,6 +64,7 @@ pub mod writer;
 
 pub use capture::{
     decode_states, events_to_bytes, restore_events, restore_hook, resume_sharded, resume_simulator,
+    resume_simulator_with,
 };
 pub use crc::{crc64, Crc64};
 pub use format::{Meta, SimSnapshot, SnapshotError, MAGIC, SNAPSHOT_VERSION};

@@ -149,6 +149,7 @@ mod tests {
                     start: 0,
                     len: 8,
                     pending: Vec::new(),
+                    topo: Vec::new(),
                 }],
             },
             fault: None,

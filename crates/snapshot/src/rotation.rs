@@ -161,6 +161,7 @@ mod tests {
                     start: 0,
                     len: 2,
                     pending: Vec::new(),
+                    topo: Vec::new(),
                 }],
             },
             fault: None,

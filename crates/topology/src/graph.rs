@@ -1,0 +1,750 @@
+//! The [`Topology`] abstraction (CSR adjacency) and its seeded,
+//! deterministic generator menu ([`TopologySpec`]).
+//!
+//! A topology is an undirected **simple** graph: no self-loops, no
+//! duplicate edges. Construction validates both, plus index bounds, so
+//! a [`Topology`] value is a proof its invariants hold — the scheduler
+//! built on it ([`crate::GraphSchedule`]) can sample without checks in
+//! its hot loop.
+//!
+//! Every generator is a pure function of its [`TopologySpec`]: the same
+//! spec always builds the identical graph, byte for byte. Generators
+//! that need randomness (geometric, regular, preferential attachment)
+//! derive it from the spec's own seed, and generators that need a
+//! *search* (a geometric radius that happens to disconnect, a stub
+//! pairing with a collision) retry deterministically with salted
+//! sub-seeds — so determinism survives the retries. This purity is what
+//! lets a scheduler checkpoint carry the spec (four `u64` words, see
+//! [`TopologySpec::encode`]) instead of the edge list.
+
+use analysis::spectral::{normalized_gap, GapEstimate};
+use rand::rngs::SmallRng;
+use rand::{RngExt, SeedableRng};
+
+/// Salt between deterministic generator retry attempts (the SplitMix64
+/// increment, so sibling attempts use well-separated seed orbits).
+const RETRY_SALT: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// Bounded attempts for generators that must search for a valid graph.
+const MAX_ATTEMPTS: u64 = 256;
+
+/// An undirected simple graph over `n` vertices in CSR adjacency form.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Topology {
+    n: usize,
+    /// CSR row offsets, `n + 1` entries: vertex `i`'s neighbors are
+    /// `targets[offsets[i]..offsets[i + 1]]`, sorted ascending.
+    offsets: Vec<usize>,
+    /// Flattened neighbor lists, `2m` entries (each undirected edge
+    /// appears in both endpoint rows).
+    targets: Vec<u32>,
+    /// The generator specification this graph was built from.
+    spec: TopologySpec,
+}
+
+impl Topology {
+    /// Build from an undirected edge list (validates simplicity).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an out-of-range endpoint, a self-loop, or a duplicate
+    /// edge (in either orientation) — generator bugs, not runtime
+    /// conditions.
+    fn from_edges(n: usize, spec: TopologySpec, edges: &[(u32, u32)]) -> Self {
+        assert!(n >= 2, "topology needs at least two vertices");
+        assert!(u32::try_from(n).is_ok(), "vertex count exceeds u32");
+        let mut degree = vec![0usize; n];
+        for &(a, b) in edges {
+            assert!((a as usize) < n && (b as usize) < n, "edge out of range");
+            assert_ne!(a, b, "self-loop in edge list");
+            degree[a as usize] += 1;
+            degree[b as usize] += 1;
+        }
+        let mut offsets = vec![0usize; n + 1];
+        for i in 0..n {
+            offsets[i + 1] = offsets[i] + degree[i];
+        }
+        let mut targets = vec![0u32; offsets[n]];
+        let mut cursor = offsets.clone();
+        for &(a, b) in edges {
+            targets[cursor[a as usize]] = b;
+            cursor[a as usize] += 1;
+            targets[cursor[b as usize]] = a;
+            cursor[b as usize] += 1;
+        }
+        for i in 0..n {
+            let row = &mut targets[offsets[i]..offsets[i + 1]];
+            row.sort_unstable();
+            assert!(
+                row.windows(2).all(|w| w[0] != w[1]),
+                "duplicate edge at vertex {i}"
+            );
+        }
+        Self {
+            n,
+            offsets,
+            targets,
+            spec,
+        }
+    }
+
+    /// Number of vertices (the population size a schedule built on this
+    /// topology serves).
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Number of undirected edges.
+    pub fn edge_count(&self) -> usize {
+        self.targets.len() / 2
+    }
+
+    /// Degree of vertex `i`.
+    pub fn degree(&self, i: usize) -> usize {
+        self.offsets[i + 1] - self.offsets[i]
+    }
+
+    /// The sorted neighbor list of vertex `i`.
+    pub fn neighbors(&self, i: usize) -> &[u32] {
+        &self.targets[self.offsets[i]..self.offsets[i + 1]]
+    }
+
+    /// Smallest vertex degree.
+    pub fn min_degree(&self) -> usize {
+        (0..self.n).map(|i| self.degree(i)).min().unwrap_or(0)
+    }
+
+    /// Largest vertex degree.
+    pub fn max_degree(&self) -> usize {
+        (0..self.n).map(|i| self.degree(i)).max().unwrap_or(0)
+    }
+
+    /// CSR row offsets (`n + 1` entries) — the raw adjacency view the
+    /// spectral estimator consumes.
+    pub fn offsets(&self) -> &[usize] {
+        &self.offsets
+    }
+
+    /// CSR flattened neighbor lists (`2m` entries).
+    pub fn targets(&self) -> &[u32] {
+        &self.targets
+    }
+
+    /// The generator specification this graph was built from.
+    pub fn spec(&self) -> &TopologySpec {
+        &self.spec
+    }
+
+    /// Is the graph connected? (BFS from vertex 0.) Ranking requires
+    /// it: information cannot cross a disconnected cut, so a protocol
+    /// on a disconnected topology can never form one global ranking.
+    pub fn is_connected(&self) -> bool {
+        let mut seen = vec![false; self.n];
+        let mut queue = std::collections::VecDeque::from([0u32]);
+        seen[0] = true;
+        let mut reached = 1usize;
+        while let Some(v) = queue.pop_front() {
+            for &w in self.neighbors(v as usize) {
+                if !seen[w as usize] {
+                    seen[w as usize] = true;
+                    reached += 1;
+                    queue.push_back(w);
+                }
+            }
+        }
+        reached == self.n
+    }
+
+    /// Estimate the spectral gap `1 − λ₂` of the normalized adjacency
+    /// `D⁻¹A` (power iteration on the lazy chain; see
+    /// [`analysis::spectral`]). Large gap ≈ expander ≈ fast mixing;
+    /// the ring's gap vanishes as `Θ(1/n²)`. This is the x-axis of the
+    /// `BENCH_topo.json` stabilization curve.
+    pub fn spectral_gap(&self) -> GapEstimate {
+        normalized_gap(&self.offsets, &self.targets, 20_000, 1e-12)
+    }
+}
+
+/// The seeded generator menu. A spec is a small pure value — building
+/// it twice yields the identical [`Topology`] — and encodes to exactly
+/// four `u64` words for the scheduler-cursor seam.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum TopologySpec {
+    /// The clique: every pair adjacent. The baseline — a
+    /// [`crate::GraphSchedule`] over it is statistically the paper's
+    /// uniform scheduler.
+    Complete {
+        /// Vertex count (`≥ 2`).
+        n: u32,
+    },
+    /// The cycle `0 — 1 — … — n−1 — 0`: diameter `⌊n/2⌋`, spectral gap
+    /// `Θ(1/n²)` — the worst connected case measured here.
+    Ring {
+        /// Vertex count (`≥ 3`; a 2-ring would duplicate its one edge).
+        n: u32,
+    },
+    /// The `w × h` 2-D torus (both dimensions wrap): degree 4,
+    /// diameter `Θ(w + h)`, gap `Θ(1/max(w,h)²)`.
+    Torus {
+        /// Width (`≥ 3`; width 2 would duplicate wrap edges).
+        w: u32,
+        /// Height (`≥ 3`).
+        h: u32,
+    },
+    /// Random geometric graph: `n` points uniform in the unit square,
+    /// an edge whenever two points lie within `radius`. Models
+    /// proximity-limited communication. `build` retries salted seeds
+    /// (bounded) until the sampled graph is connected.
+    Geometric {
+        /// Vertex count (`≥ 2`).
+        n: u32,
+        /// Connection radius in `(0, √2]`, stored as `f64` bits in the
+        /// encoded form. Connectivity needs roughly
+        /// `radius ≳ √(ln n / n)`.
+        radius: f64,
+        /// Generator seed (point placement).
+        seed: u64,
+    },
+    /// Random `d`-regular graph by the configuration model (stub
+    /// pairing, resampled until simple and connected — for `d ≥ 3`
+    /// almost every pairing already is). The expander of the menu: gap
+    /// `Θ(1)` with high probability.
+    Regular {
+        /// Vertex count (`n · d` must be even, `d < n`).
+        n: u32,
+        /// Uniform degree (`≥ 3` for the expansion guarantee).
+        d: u32,
+        /// Generator seed (stub shuffle).
+        seed: u64,
+    },
+    /// Barabási–Albert preferential attachment: start from a clique on
+    /// `m + 1` vertices, each later vertex attaches to `m` distinct
+    /// existing vertices chosen proportionally to degree. Heavy-tailed
+    /// degrees, small diameter — the "scale-free service" topology.
+    Preferential {
+        /// Vertex count (`≥ m + 1`).
+        n: u32,
+        /// Edges added per arriving vertex (`≥ 1`).
+        m: u32,
+        /// Generator seed (attachment draws).
+        seed: u64,
+    },
+}
+
+/// Discriminants of the four-word encoding (word 0).
+const KIND_COMPLETE: u64 = 0;
+const KIND_RING: u64 = 1;
+const KIND_TORUS: u64 = 2;
+const KIND_GEOMETRIC: u64 = 3;
+const KIND_REGULAR: u64 = 4;
+const KIND_PREFERENTIAL: u64 = 5;
+
+impl TopologySpec {
+    /// A short stable name for tables and JSON artifacts.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            TopologySpec::Complete { .. } => "complete",
+            TopologySpec::Ring { .. } => "ring",
+            TopologySpec::Torus { .. } => "torus",
+            TopologySpec::Geometric { .. } => "geometric",
+            TopologySpec::Regular { .. } => "regular",
+            TopologySpec::Preferential { .. } => "preferential",
+        }
+    }
+
+    /// The vertex count the built graph will have.
+    pub fn n(&self) -> usize {
+        match *self {
+            TopologySpec::Complete { n } => n as usize,
+            TopologySpec::Ring { n } => n as usize,
+            TopologySpec::Torus { w, h } => w as usize * h as usize,
+            TopologySpec::Geometric { n, .. } => n as usize,
+            TopologySpec::Regular { n, .. } => n as usize,
+            TopologySpec::Preferential { n, .. } => n as usize,
+        }
+    }
+
+    /// Validate the spec's parameters, returning a human-readable
+    /// reason on the first violation. [`build`](TopologySpec::build)
+    /// panics on exactly these conditions; cursor restore paths call
+    /// this first to keep malformed snapshots loud but non-panicking
+    /// where a `Result` is wanted.
+    pub fn validate(&self) -> Result<(), String> {
+        match *self {
+            TopologySpec::Complete { n } if n < 2 => {
+                Err(format!("complete graph needs n >= 2, got {n}"))
+            }
+            TopologySpec::Ring { n } if n < 3 => Err(format!("ring needs n >= 3, got {n}")),
+            TopologySpec::Torus { w, h } if w < 3 || h < 3 => {
+                Err(format!("torus needs w, h >= 3, got {w}x{h}"))
+            }
+            TopologySpec::Geometric { n, radius, .. } => {
+                if n < 2 {
+                    Err(format!("geometric graph needs n >= 2, got {n}"))
+                } else if !(radius > 0.0 && radius <= std::f64::consts::SQRT_2) {
+                    Err(format!(
+                        "geometric radius must be in (0, sqrt(2)], got {radius}"
+                    ))
+                } else {
+                    Ok(())
+                }
+            }
+            TopologySpec::Regular { n, d, .. } => {
+                if n < 2 || d == 0 || d >= n {
+                    Err(format!("regular graph needs 1 <= d < n, got d={d}, n={n}"))
+                } else if d == 1 && n > 2 {
+                    Err(format!(
+                        "a 1-regular graph on {n} > 2 vertices is a matching, never connected"
+                    ))
+                } else if !(n as u64 * d as u64).is_multiple_of(2) {
+                    Err(format!("regular graph needs n*d even, got d={d}, n={n}"))
+                } else {
+                    Ok(())
+                }
+            }
+            TopologySpec::Preferential { n, m, .. } => {
+                if m == 0 {
+                    Err("preferential attachment needs m >= 1".into())
+                } else if n < m + 1 {
+                    Err(format!(
+                        "preferential attachment needs n >= m + 1, got n={n}, m={m}"
+                    ))
+                } else {
+                    Ok(())
+                }
+            }
+            _ => Ok(()),
+        }
+    }
+
+    /// Build the graph — a pure function of the spec (same spec, same
+    /// graph, bit for bit; retries inside the randomized generators are
+    /// deterministically salted).
+    ///
+    /// # Panics
+    ///
+    /// Panics if [`validate`](TopologySpec::validate) rejects the
+    /// parameters, or if a randomized generator exhausts its bounded
+    /// retry budget without a valid (simple, connected) graph — which
+    /// for sane parameters (geometric radius above the connectivity
+    /// threshold, `d ≥ 3`) does not happen.
+    pub fn build(self) -> Topology {
+        if let Err(why) = self.validate() {
+            panic!("invalid topology spec: {why}");
+        }
+        match self {
+            TopologySpec::Complete { n } => build_complete(self, n),
+            TopologySpec::Ring { n } => build_ring(self, n),
+            TopologySpec::Torus { w, h } => build_torus(self, w, h),
+            TopologySpec::Geometric { n, radius, seed } => build_geometric(self, n, radius, seed),
+            TopologySpec::Regular { n, d, seed } => build_regular(self, n, d, seed),
+            TopologySpec::Preferential { n, m, seed } => build_preferential(self, n, m, seed),
+        }
+    }
+
+    /// Encode to exactly four `u64` words (kind, two parameters, seed)
+    /// — the payload of
+    /// [`ScheduleCursor::topo`](population::ScheduleCursor) for a
+    /// graph-restricted scheduler.
+    pub fn encode(&self) -> Vec<u64> {
+        match *self {
+            TopologySpec::Complete { n } => vec![KIND_COMPLETE, n as u64, 0, 0],
+            TopologySpec::Ring { n } => vec![KIND_RING, n as u64, 0, 0],
+            TopologySpec::Torus { w, h } => vec![KIND_TORUS, w as u64, h as u64, 0],
+            TopologySpec::Geometric { n, radius, seed } => {
+                vec![KIND_GEOMETRIC, n as u64, radius.to_bits(), seed]
+            }
+            TopologySpec::Regular { n, d, seed } => vec![KIND_REGULAR, n as u64, d as u64, seed],
+            TopologySpec::Preferential { n, m, seed } => {
+                vec![KIND_PREFERENTIAL, n as u64, m as u64, seed]
+            }
+        }
+    }
+
+    /// Decode four words written by [`encode`](TopologySpec::encode),
+    /// validating the parameters (so a corrupted-but-CRC-clean cursor
+    /// is rejected with a reason rather than built into nonsense).
+    pub fn decode(words: &[u64]) -> Result<Self, String> {
+        let [kind, a, b, seed] = *words else {
+            return Err(format!(
+                "topology spec must be exactly 4 words, got {}",
+                words.len()
+            ));
+        };
+        let small = |x: u64, what: &str| -> Result<u32, String> {
+            u32::try_from(x).map_err(|_| format!("{what} {x} exceeds u32"))
+        };
+        let spec = match kind {
+            KIND_COMPLETE => TopologySpec::Complete {
+                n: small(a, "vertex count")?,
+            },
+            KIND_RING => TopologySpec::Ring {
+                n: small(a, "vertex count")?,
+            },
+            KIND_TORUS => TopologySpec::Torus {
+                w: small(a, "torus width")?,
+                h: small(b, "torus height")?,
+            },
+            KIND_GEOMETRIC => TopologySpec::Geometric {
+                n: small(a, "vertex count")?,
+                radius: f64::from_bits(b),
+                seed,
+            },
+            KIND_REGULAR => TopologySpec::Regular {
+                n: small(a, "vertex count")?,
+                d: small(b, "degree")?,
+                seed,
+            },
+            KIND_PREFERENTIAL => TopologySpec::Preferential {
+                n: small(a, "vertex count")?,
+                m: small(b, "attachment count")?,
+                seed,
+            },
+            other => return Err(format!("unknown topology kind {other}")),
+        };
+        spec.validate()?;
+        Ok(spec)
+    }
+}
+
+fn build_complete(spec: TopologySpec, n: u32) -> Topology {
+    let mut edges = Vec::with_capacity(n as usize * (n as usize - 1) / 2);
+    for a in 0..n {
+        for b in (a + 1)..n {
+            edges.push((a, b));
+        }
+    }
+    Topology::from_edges(n as usize, spec, &edges)
+}
+
+fn build_ring(spec: TopologySpec, n: u32) -> Topology {
+    let edges: Vec<(u32, u32)> = (0..n).map(|i| (i, (i + 1) % n)).collect();
+    Topology::from_edges(n as usize, spec, &edges)
+}
+
+fn build_torus(spec: TopologySpec, w: u32, h: u32) -> Topology {
+    let at = |r: u32, c: u32| r * w + c;
+    let mut edges = Vec::with_capacity(2 * (w as usize) * (h as usize));
+    for r in 0..h {
+        for c in 0..w {
+            edges.push((at(r, c), at(r, (c + 1) % w)));
+            edges.push((at(r, c), at((r + 1) % h, c)));
+        }
+    }
+    Topology::from_edges(w as usize * h as usize, spec, &edges)
+}
+
+fn build_geometric(spec: TopologySpec, n: u32, radius: f64, seed: u64) -> Topology {
+    let r2 = radius * radius;
+    for attempt in 0..MAX_ATTEMPTS {
+        let mut rng = SmallRng::seed_from_u64(seed.wrapping_add(attempt.wrapping_mul(RETRY_SALT)));
+        let points: Vec<(f64, f64)> = (0..n)
+            .map(|_| (uniform_unit(&mut rng), uniform_unit(&mut rng)))
+            .collect();
+        let mut edges = Vec::new();
+        for a in 0..n as usize {
+            for b in (a + 1)..n as usize {
+                let (dx, dy) = (points[a].0 - points[b].0, points[a].1 - points[b].1);
+                if dx * dx + dy * dy <= r2 {
+                    edges.push((a as u32, b as u32));
+                }
+            }
+        }
+        let graph = Topology::from_edges(n as usize, spec, &edges);
+        if graph.min_degree() >= 1 && graph.is_connected() {
+            return graph;
+        }
+    }
+    panic!(
+        "geometric graph (n={n}, radius={radius}) disconnected after {MAX_ATTEMPTS} attempts — \
+         radius is below the connectivity threshold ~sqrt(ln n / n)"
+    );
+}
+
+/// Uniform `f64` in `[0, 1)` from 53 mantissa bits.
+fn uniform_unit(rng: &mut SmallRng) -> f64 {
+    use rand::RngCore;
+    (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+fn build_regular(spec: TopologySpec, n: u32, d: u32, seed: u64) -> Topology {
+    // Circulant base graph (always d-regular, simple, connected), then
+    // seeded double-edge swaps to randomize. The configuration model's
+    // wholesale rejection has success probability ≈ e^(−(d²−1)/4) —
+    // hopeless already at d = 8 — while swaps preserve regularity and
+    // simplicity by construction and mix to the uniform(-ish) random
+    // regular graph, which is the expander this generator is for.
+    let half = d / 2;
+    let mut edges: Vec<(u32, u32)> = Vec::with_capacity(n as usize * d as usize / 2);
+    for v in 0..n {
+        for k in 1..=half {
+            edges.push((v, (v + k) % n));
+        }
+    }
+    if d % 2 == 1 {
+        // n·d even with d odd forces n even: add the antipodal matching.
+        for v in 0..n / 2 {
+            edges.push((v, v + n / 2));
+        }
+    }
+    // Normalize orientation and set up the membership index for swaps.
+    for e in edges.iter_mut() {
+        *e = (e.0.min(e.1), e.0.max(e.1));
+    }
+    let mut present: std::collections::HashSet<(u32, u32)> = edges.iter().copied().collect();
+    let m = edges.len();
+
+    for attempt in 0..MAX_ATTEMPTS {
+        let mut rng = SmallRng::seed_from_u64(seed.wrapping_add(attempt.wrapping_mul(RETRY_SALT)));
+        // ~20 accepted swaps per edge randomizes the circulant
+        // structure thoroughly at these sizes.
+        let mut accepted = 0usize;
+        let target = 20 * m;
+        let mut budget = 200 * m; // bound rejected proposals too
+        while accepted < target && budget > 0 {
+            budget -= 1;
+            let x = rng.random_range(0..m as u64) as usize;
+            let y = rng.random_range(0..m as u64) as usize;
+            if x == y {
+                continue;
+            }
+            let (a, b) = edges[x];
+            let (c, e) = edges[y];
+            // Swap to (a, e), (c, b); orientation chosen by a coin so
+            // both rewirings of the 4 endpoints are reachable.
+            let (c, e) = if rng.random_bool(0.5) { (c, e) } else { (e, c) };
+            let p = (a.min(e), a.max(e));
+            let q = (c.min(b), c.max(b));
+            if a == e || c == b || present.contains(&p) || present.contains(&q) || p == q {
+                continue;
+            }
+            present.remove(&edges[x]);
+            present.remove(&edges[y]);
+            present.insert(p);
+            present.insert(q);
+            edges[x] = p;
+            edges[y] = q;
+            accepted += 1;
+        }
+        let graph = Topology::from_edges(n as usize, spec, &edges);
+        if graph.is_connected() {
+            return graph;
+        }
+        // Disconnected (rare): restore determinism by rebuilding the
+        // membership set from the current edges and re-swapping with the
+        // salted seed — the swap chain is ergodic, so this terminates.
+        present = edges.iter().copied().collect();
+    }
+    panic!("no connected {d}-regular swap outcome on {n} vertices in {MAX_ATTEMPTS} attempts");
+}
+
+fn build_preferential(spec: TopologySpec, n: u32, m: u32, seed: u64) -> Topology {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let core = m + 1;
+    let mut edges: Vec<(u32, u32)> = Vec::new();
+    for a in 0..core {
+        for b in (a + 1)..core {
+            edges.push((a, b));
+        }
+    }
+    // Degree-proportional sampling by drawing uniformly from the list
+    // of edge endpoints (each vertex appears exactly degree-many
+    // times). Duplicate targets are redrawn — `m ≤` existing vertices,
+    // so `m` distinct targets always exist.
+    let mut endpoints: Vec<u32> = edges.iter().flat_map(|&(a, b)| [a, b]).collect();
+    let mut picked: Vec<u32> = Vec::with_capacity(m as usize);
+    for v in core..n {
+        picked.clear();
+        while picked.len() < m as usize {
+            let t = endpoints[rng.random_range(0..endpoints.len() as u64) as usize];
+            if !picked.contains(&t) {
+                picked.push(t);
+            }
+        }
+        for &t in &picked {
+            edges.push((t, v));
+            endpoints.push(t);
+            endpoints.push(v);
+        }
+    }
+    Topology::from_edges(n as usize, spec, &edges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_shape() {
+        let g = TopologySpec::Ring { n: 8 }.build();
+        assert_eq!(g.n(), 8);
+        assert_eq!(g.edge_count(), 8);
+        assert_eq!((g.min_degree(), g.max_degree()), (2, 2));
+        assert!(g.is_connected());
+        assert_eq!(g.neighbors(0), &[1, 7]);
+        assert_eq!(g.neighbors(5), &[4, 6]);
+    }
+
+    #[test]
+    fn torus_shape() {
+        let g = TopologySpec::Torus { w: 4, h: 3 }.build();
+        assert_eq!(g.n(), 12);
+        assert_eq!(g.edge_count(), 24);
+        assert_eq!((g.min_degree(), g.max_degree()), (4, 4));
+        assert!(g.is_connected());
+        // Vertex 0 = (row 0, col 0): right 1, left 3, down 4, up 8.
+        assert_eq!(g.neighbors(0), &[1, 3, 4, 8]);
+    }
+
+    #[test]
+    fn complete_shape() {
+        let g = TopologySpec::Complete { n: 6 }.build();
+        assert_eq!(g.edge_count(), 15);
+        assert_eq!((g.min_degree(), g.max_degree()), (5, 5));
+        assert_eq!(g.neighbors(2), &[0, 1, 3, 4, 5]);
+    }
+
+    #[test]
+    fn regular_graph_is_simple_connected_and_regular() {
+        for seed in 0..5 {
+            let g = TopologySpec::Regular { n: 24, d: 4, seed }.build();
+            assert_eq!((g.min_degree(), g.max_degree()), (4, 4), "seed {seed}");
+            assert!(g.is_connected(), "seed {seed}");
+            assert_eq!(g.edge_count(), 48);
+        }
+    }
+
+    #[test]
+    fn geometric_graph_is_connected_at_generous_radius() {
+        for seed in 0..5 {
+            let g = TopologySpec::Geometric {
+                n: 32,
+                radius: 0.45,
+                seed,
+            }
+            .build();
+            assert!(g.is_connected(), "seed {seed}");
+            assert!(g.min_degree() >= 1);
+        }
+    }
+
+    #[test]
+    fn preferential_attachment_shape() {
+        let g = TopologySpec::Preferential {
+            n: 40,
+            m: 3,
+            seed: 1,
+        }
+        .build();
+        assert!(g.is_connected());
+        // Core clique edges + m per later vertex.
+        assert_eq!(g.edge_count(), 6 + 3 * 36);
+        assert!(g.min_degree() >= 3);
+        // The rich get richer: some vertex far exceeds the minimum.
+        assert!(g.max_degree() > 6, "max degree {}", g.max_degree());
+    }
+
+    #[test]
+    fn same_spec_same_graph() {
+        for spec in [
+            TopologySpec::Geometric {
+                n: 24,
+                radius: 0.5,
+                seed: 9,
+            },
+            TopologySpec::Regular {
+                n: 20,
+                d: 4,
+                seed: 9,
+            },
+            TopologySpec::Preferential {
+                n: 20,
+                m: 2,
+                seed: 9,
+            },
+        ] {
+            let a = spec.build();
+            let b = spec.build();
+            assert_eq!(a, b, "{spec:?} not deterministic");
+        }
+    }
+
+    #[test]
+    fn encode_decode_round_trips() {
+        let specs = [
+            TopologySpec::Complete { n: 7 },
+            TopologySpec::Ring { n: 12 },
+            TopologySpec::Torus { w: 5, h: 3 },
+            TopologySpec::Geometric {
+                n: 30,
+                radius: 0.4375,
+                seed: 0xABCD,
+            },
+            TopologySpec::Regular {
+                n: 16,
+                d: 4,
+                seed: 77,
+            },
+            TopologySpec::Preferential {
+                n: 25,
+                m: 3,
+                seed: 5,
+            },
+        ];
+        for spec in specs {
+            let words = spec.encode();
+            assert_eq!(words.len(), 4);
+            assert_eq!(TopologySpec::decode(&words), Ok(spec));
+        }
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert!(TopologySpec::decode(&[]).is_err());
+        assert!(TopologySpec::decode(&[99, 8, 0, 0]).is_err());
+        assert!(TopologySpec::decode(&[KIND_RING, 2, 0, 0]).is_err());
+        // Torus 2xh duplicates wrap edges; must be rejected, not built.
+        assert!(TopologySpec::decode(&[KIND_TORUS, 2, 5, 0]).is_err());
+        let bad_radius = TopologySpec::Geometric {
+            n: 8,
+            radius: -1.0,
+            seed: 0,
+        };
+        assert!(TopologySpec::decode(&bad_radius.encode()).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid topology spec")]
+    fn build_rejects_odd_regular() {
+        let _ = TopologySpec::Regular {
+            n: 7,
+            d: 3,
+            seed: 0,
+        }
+        .build();
+    }
+
+    #[test]
+    fn spectral_gap_orders_the_menu() {
+        // Complete > regular (expander) > torus > ring at equal n = 36.
+        // Degree 8 for the expander: a random d-regular graph's gap is
+        // bounded near 1 − 2√(d−1)/d (Alon–Boppana), which for d = 4 is
+        // ≈ 0.13 — *below* the small 6×6 torus's 0.25. At d = 8 the
+        // bound is ≈ 0.34 and the expander clears the torus.
+        let gap = |s: TopologySpec| s.build().spectral_gap().gap;
+        let complete = gap(TopologySpec::Complete { n: 36 });
+        let regular = gap(TopologySpec::Regular {
+            n: 36,
+            d: 8,
+            seed: 1,
+        });
+        let torus = gap(TopologySpec::Torus { w: 6, h: 6 });
+        let ring = gap(TopologySpec::Ring { n: 36 });
+        assert!(
+            complete > regular && regular > torus && torus > ring,
+            "gap order violated: complete {complete:.4} regular {regular:.4} \
+             torus {torus:.4} ring {ring:.4}"
+        );
+        assert!(ring > 0.0);
+    }
+}

@@ -1,0 +1,302 @@
+//! [`GraphSchedule`]: the edge-restricted pair source.
+//!
+//! Draws ordered interaction pairs **uniformly from the directed edges**
+//! of a [`Topology`]: each of the `2m` orientations of the `m`
+//! undirected edges is equally likely, every draw, independently. This
+//! is the standard scheduler model for population protocols on graphs
+//! (and on the complete graph it *is* the paper's uniform scheduler:
+//! `2m = n(n−1)` directed edges, one per ordered pair).
+//!
+//! The draw factors through the chain rule: pick the initiator with
+//! probability `deg(i)/2m` (an O(1) [`AliasTable`] lookup over the
+//! degree vector), then a neighbor uniformly from the initiator's CSR
+//! row. Two 64-bit RNG outputs per pair, no rejection, any degree
+//! distribution.
+//!
+//! `GraphSchedule` honors the two [`PairSource`] contracts the engine is
+//! built on — validity (adjacent, distinct, in-range pairs) and the
+//! single-FIFO-stream rule (scalar and batched consumption interleave
+//! bit-exactly, via the shared [`BlockBuffer`]) — and implements
+//! [`CursorSource`], so checkpoint/restore works through the same
+//! snapshot machinery as the uniform scheduler. The cursor's `topo`
+//! words carry the [`TopologySpec`] (four `u64`s), not the edge list:
+//! a spec builds the identical graph every time, so restore is
+//! `decode → build → resume RNG`.
+
+use crate::alias::AliasTable;
+use crate::graph::{Topology, TopologySpec};
+use population::schedule::{BlockBuffer, Pair};
+use population::{CursorSource, PairSource, ScheduleCursor};
+use rand::rngs::SmallRng;
+use rand::{RngCore, SeedableRng};
+
+/// Seeded generator of ordered pairs uniform over the directed edges of
+/// a fixed interaction topology.
+#[derive(Debug, Clone)]
+pub struct GraphSchedule {
+    topo: Topology,
+    alias: AliasTable,
+    rng: SmallRng,
+    buf: BlockBuffer,
+}
+
+/// Draw one directed edge: degree-proportional initiator via the alias
+/// table, then a uniform neighbor from the initiator's CSR row
+/// (widening-multiply index map, bias < deg · 2⁻³² like every index map
+/// in this workspace). One canonical function consumed by both the
+/// scalar and the batched path — the single-stream contract by
+/// construction.
+#[inline]
+fn draw_edge(rng: &mut SmallRng, topo: &Topology, alias: &AliasTable) -> Pair {
+    let i = alias.sample(rng.next_u64());
+    let row = topo.neighbors(i);
+    let pick = ((rng.next_u64() & 0xFFFF_FFFF) * row.len() as u64) >> 32;
+    (i as u32, row[pick as usize])
+}
+
+impl GraphSchedule {
+    /// A schedule drawing uniformly from the directed edges of the graph
+    /// built by `spec`, seeded with `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spec is invalid (see [`TopologySpec::validate`]) or
+    /// the built graph is disconnected or has an isolated vertex — a
+    /// vertex that can never interact cannot participate in a ranking,
+    /// and a disconnected topology can never stabilize globally. (The
+    /// bundled generators only produce connected graphs; this guards
+    /// future ones.)
+    pub fn new(spec: TopologySpec, seed: u64) -> Self {
+        Self::from_topology(spec.build(), SmallRng::seed_from_u64(seed))
+    }
+
+    fn from_topology(topo: Topology, rng: SmallRng) -> Self {
+        assert!(
+            topo.min_degree() >= 1,
+            "topology has an isolated vertex; it can never interact"
+        );
+        assert!(
+            topo.is_connected(),
+            "topology is disconnected; ranking cannot stabilize globally"
+        );
+        let degrees: Vec<u64> = (0..topo.n()).map(|i| topo.degree(i) as u64).collect();
+        let alias = AliasTable::new(&degrees);
+        Self {
+            topo,
+            alias,
+            rng,
+            buf: BlockBuffer::new(),
+        }
+    }
+
+    /// The topology this schedule draws edges from.
+    pub fn topology(&self) -> &Topology {
+        &self.topo
+    }
+
+    /// Number of pairs currently buffered but not yet consumed.
+    pub fn buffered(&self) -> usize {
+        self.buf.buffered()
+    }
+}
+
+impl PairSource for GraphSchedule {
+    fn n(&self) -> usize {
+        self.topo.n()
+    }
+
+    #[inline]
+    fn next_pair(&mut self) -> (usize, usize) {
+        let (rng, topo, alias) = (&mut self.rng, &self.topo, &self.alias);
+        self.buf.next_pair(|| draw_edge(rng, topo, alias))
+    }
+
+    #[inline]
+    fn sample_block(&mut self, max: usize) -> &[Pair] {
+        let (rng, topo, alias) = (&mut self.rng, &self.topo, &self.alias);
+        self.buf.sample_block(max, || draw_edge(rng, topo, alias))
+    }
+}
+
+impl CursorSource for GraphSchedule {
+    fn cursor(&self) -> ScheduleCursor {
+        ScheduleCursor {
+            rng: self.rng.state(),
+            n: self.topo.n() as u64,
+            start: 0,
+            len: self.topo.n() as u64,
+            pending: self.buf.pending().to_vec(),
+            topo: self.topo.spec().encode(),
+        }
+    }
+
+    fn from_cursor(cursor: ScheduleCursor) -> Self {
+        let spec = match TopologySpec::decode(&cursor.topo) {
+            Ok(spec) => spec,
+            Err(why) => panic!("cursor does not restore to a GraphSchedule: {why}"),
+        };
+        assert_eq!(
+            spec.n() as u64,
+            cursor.n,
+            "cursor population size disagrees with its topology spec"
+        );
+        assert!(
+            cursor.start == 0 && cursor.len == cursor.n,
+            "GraphSchedule cursor must cover the full initiator range"
+        );
+        let mut restored = Self::from_topology(spec.build(), SmallRng::from_state(cursor.rng));
+        restored.buf = BlockBuffer::with_pending(cursor.pending);
+        restored
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ring_sched(n: u32, seed: u64) -> GraphSchedule {
+        GraphSchedule::new(TopologySpec::Ring { n }, seed)
+    }
+
+    #[test]
+    fn pairs_are_adjacent_distinct_and_in_range() {
+        let mut s = GraphSchedule::new(
+            TopologySpec::Regular {
+                n: 24,
+                d: 4,
+                seed: 3,
+            },
+            7,
+        );
+        let topo = s.topology().clone();
+        for _ in 0..20_000 {
+            let (i, j) = s.next_pair();
+            assert!(i < 24 && j < 24);
+            assert_ne!(i, j);
+            assert!(
+                topo.neighbors(i).contains(&(j as u32)),
+                "pair ({i}, {j}) is not an edge"
+            );
+        }
+    }
+
+    #[test]
+    fn directed_edges_are_sampled_uniformly() {
+        // Ring on 8 vertices: 16 directed edges, each expected 1/16.
+        let mut s = ring_sched(8, 42);
+        let mut counts = std::collections::HashMap::new();
+        let draws = 160_000;
+        for _ in 0..draws {
+            *counts.entry(s.next_pair()).or_insert(0u32) += 1;
+        }
+        assert_eq!(counts.len(), 16, "every directed edge must appear");
+        for (&edge, &c) in &counts {
+            let expect = draws as f64 / 16.0;
+            assert!(
+                (c as f64 - expect).abs() < 5.0 * expect.sqrt(),
+                "edge {edge:?}: count {c} vs expected {expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn block_and_scalar_share_the_stream() {
+        let mut scalar = ring_sched(16, 9);
+        let mut blocked = ring_sched(16, 9);
+        let expected: Vec<(usize, usize)> = (0..5000).map(|_| scalar.next_pair()).collect();
+        let mut got = Vec::new();
+        while got.len() < 5000 {
+            let block = blocked.sample_block(5000 - got.len()).to_vec();
+            got.extend(block.iter().map(|&(i, j)| (i as usize, j as usize)));
+        }
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn interleaved_consumption_is_seamless() {
+        let mut reference = ring_sched(12, 4);
+        let expected: Vec<(usize, usize)> = (0..3000).map(|_| reference.next_pair()).collect();
+        let mut mixed = ring_sched(12, 4);
+        let mut got = Vec::new();
+        while got.len() < 3000 {
+            got.push(mixed.next_pair());
+            let want = (3000 - got.len()).min(29);
+            got.extend(
+                mixed
+                    .sample_block(want)
+                    .iter()
+                    .map(|&(i, j)| (i as usize, j as usize)),
+            );
+        }
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn cursor_round_trip_continues_the_stream() {
+        let mut original = GraphSchedule::new(
+            TopologySpec::Preferential {
+                n: 30,
+                m: 2,
+                seed: 6,
+            },
+            11,
+        );
+        for _ in 0..1234 {
+            original.next_pair();
+        }
+        let cursor = original.cursor();
+        assert_eq!(cursor.topo.len(), 4);
+        let mut restored = GraphSchedule::from_cursor(cursor);
+        for _ in 0..5000 {
+            assert_eq!(original.next_pair(), restored.next_pair());
+        }
+    }
+
+    #[test]
+    fn cursor_pending_pairs_replay_before_fresh_draws() {
+        // A cursor with a buffered-but-unconsumed tail: the restored
+        // source replays `pending` first, then draws from the RNG —
+        // same contract as the uniform Schedule.
+        let mut reference = ring_sched(20, 8);
+        let expected: Vec<(usize, usize)> = (0..200).map(|_| reference.next_pair()).collect();
+
+        let mut advanced = ring_sched(20, 8);
+        let replay: Vec<Pair> = (0..5)
+            .map(|_| {
+                let (i, j) = advanced.next_pair();
+                (i as u32, j as u32)
+            })
+            .collect();
+        let mut cursor = advanced.cursor();
+        cursor.pending = replay;
+
+        let mut restored = GraphSchedule::from_cursor(cursor);
+        let got: Vec<(usize, usize)> = (0..200).map(|_| restored.next_pair()).collect();
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not restore to a GraphSchedule")]
+    fn rejects_uniform_cursor() {
+        use population::Schedule;
+        let uniform = Schedule::new(16, 1);
+        let _ = GraphSchedule::from_cursor(uniform.cursor());
+    }
+
+    #[test]
+    #[should_panic(expected = "disagrees with its topology spec")]
+    fn rejects_population_size_mismatch() {
+        let mut cursor = ring_sched(10, 1).cursor();
+        cursor.n = 11;
+        cursor.len = 11;
+        let _ = GraphSchedule::from_cursor(cursor);
+    }
+
+    #[test]
+    fn uniform_sources_reject_graph_cursors() {
+        use population::Schedule;
+        let graph_cursor = ring_sched(10, 1).cursor();
+        let outcome = std::panic::catch_unwind(|| Schedule::from_cursor(graph_cursor));
+        assert!(outcome.is_err(), "Schedule must refuse a topology cursor");
+    }
+}

@@ -33,6 +33,11 @@
 //!   bounded ring buffers), the unified metrics registry
 //!   (counters + log₂ histograms), JSONL trace schema, and run-provenance
 //!   manifests. See `docs/OBSERVABILITY.md`.
+//! * [`topology`] — interaction topologies: graph generators (ring,
+//!   torus, geometric, regular/expander, preferential attachment),
+//!   CSR adjacency with spectral-gap estimation, and the edge-restricted
+//!   [`GraphSchedule`](topology::GraphSchedule) pair source. See
+//!   `docs/TOPOLOGY.md`.
 //! * [`analysis`] — statistics and tail-bound helpers used by experiments.
 //!
 //! # Quickstart
@@ -60,3 +65,4 @@ pub use scenarios;
 pub use shard;
 pub use snapshot;
 pub use telemetry;
+pub use topology;
